@@ -1,0 +1,114 @@
+// casc-bench regenerates the figures of the paper's experimental study
+// (§VI). Each experiment sweeps one Table II parameter over R rounds and
+// prints the two panels the paper plots — total cooperation score and batch
+// running time — for TPG, GT, GT+LUB, GT+TSI, GT+ALL, MFLOW, RAND and the
+// UPPER estimate.
+//
+// Usage:
+//
+//	casc-bench -exp capacity            # Figure 2 at paper scale
+//	casc-bench -exp all -scale 0.2      # all figures, 20% scale
+//	casc-bench -exp settings            # print the Table II grid
+//	casc-bench -exp workers -csv        # CSV instead of aligned tables
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"casc/internal/harness"
+	"casc/internal/workload"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: capacity|speed|radius|deadline|epsilon|workers|tasks|distribution|optgap|anytime|sources|all|extra|settings")
+		rounds  = flag.Int("rounds", workload.DefaultRounds, "rounds R per sweep point")
+		scale   = flag.Float64("scale", 1.0, "scale factor on m and n (1.0 = paper scale)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		solvers = flag.String("solvers", "", "comma-separated solver subset (default: all)")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		chart   = flag.Bool("chart", false, "also render an ASCII chart per figure")
+		quiet   = flag.Bool("quiet", false, "suppress progress lines")
+	)
+	flag.Parse()
+
+	if *exp == "settings" {
+		printSettings()
+		return
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opt := harness.Options{Rounds: *rounds, Seed: *seed, Scale: *scale}
+	if *solvers != "" {
+		opt.Solvers = strings.Split(*solvers, ",")
+	}
+	if !*quiet {
+		opt.Progress = os.Stderr
+	}
+
+	names := []string{*exp}
+	switch *exp {
+	case "all":
+		names = harness.AllExperiments()
+	case "extra":
+		names = harness.ExtraExperiments()
+	}
+	for _, name := range names {
+		start := time.Now()
+		s, err := harness.Run(ctx, name, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "casc-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if *csv {
+			if err := s.CSV(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "casc-bench: %v\n", err)
+				os.Exit(1)
+			}
+		} else {
+			if err := s.Render(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "casc-bench: %v\n", err)
+				os.Exit(1)
+			}
+			if *chart {
+				if err := s.Chart(os.Stdout); err != nil {
+					fmt.Fprintf(os.Stderr, "casc-bench: %v\n", err)
+					os.Exit(1)
+				}
+			}
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "%s finished in %s\n", name, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}
+
+func printSettings() {
+	fmt.Println("Table II — experimental settings (defaults in brackets)")
+	fmt.Printf("%-38s %v\n", "capacity a_j of tasks:", workload.CapacityValues)
+	fmt.Printf("%-38s %v (default [1,5])\n", "range [v-,v+] of worker speeds (%):", fmtRanges(workload.SpeedRanges))
+	fmt.Printf("%-38s %v (default [5,10])\n", "range [r-,r+] of working areas (%):", fmtRanges(workload.RadiusRanges))
+	fmt.Printf("%-38s %v (default 3)\n", "remaining time τ_j of tasks:", workload.RemainingTimes)
+	fmt.Printf("%-38s %v (default 0.05)\n", "threshold parameter ε:", workload.EpsilonValues)
+	fmt.Printf("%-38s %v (default 1000)\n", "number m of workers per round:", workload.WorkerCounts)
+	fmt.Printf("%-38s %v (default 500)\n", "number n of tasks per round:", workload.TaskCounts)
+	fmt.Printf("%-38s %d\n", "number R of total rounds:", workload.DefaultRounds)
+	fmt.Printf("%-38s %d\n", "least required workers B:", workload.Default().B)
+	fmt.Printf("%-38s a_j = %d\n", "default capacity:", workload.Default().Capacity)
+}
+
+func fmtRanges(rs [][2]float64) []string {
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = fmt.Sprintf("[%g,%g]", r[0]*100, r[1]*100)
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+// casc-gen generates CA-SC datasets to JSON: synthetic UNIF/SKEW batches
+// (§VI-C) or a Meetup-style city sample (§VI-B substitute). The output is
+// consumable by casc-sim and by dataset.Load.
+//
+// Usage:
+//
+//	casc-gen -kind unif -m 1000 -n 500 -out batch.json
+//	casc-gen -kind skew -m 500 -n 200 -seed 7 -out skew.json
+//	casc-gen -kind meetup -m 1000 -n 500 -out meetup.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"casc/internal/checkin"
+	"casc/internal/coop"
+	"casc/internal/dataset"
+	"casc/internal/meetup"
+	"casc/internal/model"
+	"casc/internal/stats"
+	"casc/internal/workload"
+)
+
+func main() {
+	var (
+		kind = flag.String("kind", "unif", "dataset kind: unif|skew|meetup|checkin")
+		m    = flag.Int("m", 1000, "number of workers")
+		n    = flag.Int("n", 500, "number of tasks")
+		cap_ = flag.Int("capacity", 5, "task capacity a_j")
+		b    = flag.Int("b", 3, "least required workers B")
+		tau  = flag.Float64("tau", 3, "remaining time of tasks")
+		seed = flag.Int64("seed", 1, "random seed")
+		out  = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	wire, err := generate(*kind, *m, *n, *cap_, *b, *tau, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "casc-gen: %v\n", err)
+		os.Exit(1)
+	}
+	if *out == "" {
+		if err := wire.Write(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "casc-gen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := wire.Save(*out); err != nil {
+		fmt.Fprintf(os.Stderr, "casc-gen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s: %d workers, %d tasks\n", *out, *m, *n)
+}
+
+func generate(kind string, m, n, capacity, b int, tau float64, seed int64) (*dataset.Instance, error) {
+	switch kind {
+	case "unif", "skew":
+		p := workload.Default()
+		p.NumWorkers, p.NumTasks = m, n
+		p.Capacity, p.B = capacity, b
+		p.RemainingTime = tau
+		p.Seed = seed
+		if kind == "skew" {
+			p.Dist = workload.SKEW
+		}
+		in, err := p.Instance(0, model.IndexRTree)
+		if err != nil {
+			return nil, err
+		}
+		// Synthetic quality is a function, not data; snapshot it densely so
+		// the file is self-contained. Guard against absurd matrix sizes.
+		if m > 4000 {
+			return nil, fmt.Errorf("dense quality snapshot too large for m=%d (max 4000)", m)
+		}
+		return dataset.FromModel(in, nil), nil
+	case "checkin":
+		tr := checkin.Generate(checkin.Config{
+			NumUsers: max(m*3, 300), NumVenues: max(n, 100), VisitsPerUser: 20,
+			RevisitBias: 0.6, Neighbourhoods: 8, Seed: seed,
+		})
+		sp := checkin.DefaultSample()
+		sp.NumWorkers, sp.NumTasks = m, n
+		sp.Capacity, sp.B = capacity, b
+		sp.RemainingTime = tau
+		in, err := tr.Sample(stats.NewRNG(seed), sp, 0)
+		if err != nil {
+			return nil, err
+		}
+		// The co-visit model has no compact wire form; snapshot densely.
+		if m > 4000 {
+			return nil, fmt.Errorf("dense quality snapshot too large for m=%d (max 4000)", m)
+		}
+		return dataset.FromModel(in, nil), nil
+	case "meetup":
+		cfg := meetup.Default()
+		cfg.Seed = seed
+		if m > cfg.NumUsers || n > cfg.NumEvents {
+			return nil, fmt.Errorf("meetup city has %d users / %d events", cfg.NumUsers, cfg.NumEvents)
+		}
+		city := meetup.Generate(cfg)
+		sp := meetup.DefaultSample()
+		sp.NumWorkers, sp.NumTasks = m, n
+		sp.Capacity, sp.B = capacity, b
+		sp.RemainingTime = tau
+		in, err := city.Sample(stats.NewRNG(seed), sp, 0)
+		if err != nil {
+			return nil, err
+		}
+		// The instance's quality is the per-sample Jaccard model (possibly
+		// behind a memo layer); persist the group lists so it reconstructs
+		// exactly.
+		q := in.Quality
+		if c, ok := q.(*coop.Cached); ok {
+			q = c.Unwrap()
+		}
+		groups := q.(*coop.Jaccard).Groups
+		return dataset.FromModel(in, groups), nil
+	default:
+		return nil, fmt.Errorf("unknown kind %q (want unif|skew|meetup|checkin)", kind)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,211 @@
+// casc-sim runs CA-SC assignments — either one batch loaded from a
+// casc-gen JSON file or generated on the fly, or a multi-round Algorithm 1
+// simulation — through a chosen solver and reports assignment quality
+// against the UPPER estimate, optionally comparing every approach.
+//
+// Usage:
+//
+//	casc-sim -data batch.json -solver GT+ALL
+//	casc-sim -m 500 -n 200 -solver GT          # generate one batch
+//	casc-sim -data batch.json -compare         # all solvers side by side
+//	casc-sim -rounds 10 -m 300 -n 100 -compare # Algorithm 1 simulation
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"casc/internal/assign"
+	"casc/internal/batch"
+	"casc/internal/coop"
+	"casc/internal/dataset"
+	"casc/internal/model"
+	"casc/internal/roadnet"
+	"casc/internal/trace"
+	"casc/internal/viz"
+	"casc/internal/workload"
+)
+
+func main() {
+	var (
+		data    = flag.String("data", "", "dataset JSON from casc-gen (empty: generate)")
+		solver  = flag.String("solver", "GT", "solver: TPG|GT|GT+LUB|GT+TSI|GT+ALL|MFLOW|RAND|WST")
+		compare = flag.Bool("compare", false, "run every solver and print a comparison")
+		m       = flag.Int("m", 1000, "workers when generating (per round with -rounds)")
+		n       = flag.Int("n", 500, "tasks when generating (per round with -rounds)")
+		seed    = flag.Int64("seed", 1, "seed when generating")
+		index   = flag.String("index", "rtree", "spatial index: rtree|grid|linear")
+		rounds  = flag.Int("rounds", 1, "batch rounds; >1 runs the Algorithm 1 simulator over generated arrivals")
+		svg     = flag.String("svg", "", "write an SVG rendering of the (last) solver's assignment to this file")
+		road    = flag.Bool("road", false, "use a road-network travel model instead of Euclidean")
+		traceF  = flag.String("trace", "", "with -rounds: record per-batch JSONL trace to this file")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	kind, err := indexKind(*index)
+	if err != nil {
+		fatal(err)
+	}
+	if *rounds > 1 {
+		if *data != "" {
+			fatal(fmt.Errorf("-rounds simulation generates its own arrivals; drop -data"))
+		}
+		simulate(ctx, *solver, *compare, *m, *n, *seed, *rounds, kind, *traceF)
+		return
+	}
+	in, err := load(*data, *m, *n, *seed, kind)
+	if err != nil {
+		fatal(err)
+	}
+	if *road {
+		nw, err := roadnet.NewGrid(roadnet.DefaultGrid())
+		if err != nil {
+			fatal(err)
+		}
+		in.Travel = nw.Travel(in.Workers, in.Tasks)
+		in.BuildCandidates(kind)
+	}
+	fmt.Printf("instance: %d workers, %d tasks, B=%d, %d valid pairs\n",
+		len(in.Workers), len(in.Tasks), in.B, in.NumValidPairs())
+	ub := assign.Upper(in)
+	fmt.Printf("UPPER estimate (Eq. 9): %.2f\n\n", ub)
+
+	names := []string{*solver}
+	if *compare {
+		names = assign.AllNames()
+	}
+	fmt.Printf("%-8s %12s %10s %8s %10s %10s\n", "solver", "score", "of UPPER", "pairs", "tasks≥B", "time")
+	var lastA *model.Assignment
+	var lastName string
+	for _, name := range names {
+		s, err := assign.ByName(name, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		start := time.Now()
+		a, err := s.Solve(ctx, in)
+		elapsed := time.Since(start)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		if err := a.Validate(in); err != nil {
+			fatal(fmt.Errorf("%s produced an invalid assignment: %w", name, err))
+		}
+		score := a.TotalScore(in)
+		frac := 0.0
+		if ub > 0 {
+			frac = score / ub * 100
+		}
+		fmt.Printf("%-8s %12.2f %9.1f%% %8d %10d %10s\n",
+			name, score, frac, a.NumAssigned(), a.CompletedTasks(in), elapsed.Round(time.Millisecond))
+		lastA, lastName = a, name
+	}
+	if *svg != "" && lastA != nil {
+		title := fmt.Sprintf("%s: score %.2f of UPPER %.2f", lastName, lastA.TotalScore(in), ub)
+		if err := viz.SaveAssignment(*svg, in, lastA, viz.Options{Title: title}); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *svg)
+	}
+}
+
+// simulate runs the Algorithm 1 simulator: fresh worker/task waves each
+// round, carry-over of unserved tasks, busy workers returning after
+// service.
+func simulate(ctx context.Context, solverName string, compare bool, m, n int, seed int64, rounds int, kind model.IndexKind, tracePath string) {
+	names := []string{solverName}
+	if compare {
+		names = assign.AllNames()
+	}
+	var tw *trace.Writer
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		tw = trace.NewWriter(f)
+	}
+	p := workload.Default()
+	p.NumWorkers, p.NumTasks = m, n
+	universe := m * rounds
+	fmt.Printf("Algorithm 1 simulation: %d rounds, %d workers + %d tasks arriving per round\n\n",
+		rounds, m, n)
+	fmt.Printf("%-8s %12s %12s %10s %10s %12s\n", "solver", "total score", "of UPPER", "dispatched", "expired", "avg batch")
+	for _, name := range names {
+		s, err := assign.ByName(name, seed)
+		if err != nil {
+			fatal(err)
+		}
+		src := &batch.GeneratorSource{
+			Model: coop.Synthetic{N: universe, Seed: uint64(seed)},
+			WorkersFn: func(round int) []model.Worker {
+				ws := p.WithSeed(seed + int64(round)).Workers(float64(round))
+				return batch.RoundRobinIDs(ws, round, m, universe)
+			},
+			TasksFn: func(round int) []model.Task {
+				return p.WithSeed(seed + 5000 + int64(round)).Tasks(float64(round))
+			},
+		}
+		res, err := batch.Run(ctx, batch.Config{
+			Solver:   s,
+			Rounds:   rounds,
+			B:        p.B,
+			Index:    kind,
+			Trace:    tw,
+			TraceRun: name,
+		}, src)
+		if err != nil {
+			fatal(err)
+		}
+		var avg time.Duration
+		for _, b := range res.Batches {
+			avg += b.Elapsed
+		}
+		avg /= time.Duration(len(res.Batches))
+		frac := 0.0
+		if res.UpperTotal > 0 {
+			frac = res.TotalScore / res.UpperTotal * 100
+		}
+		fmt.Printf("%-8s %12.2f %11.1f%% %10d %10d %12s\n",
+			name, res.TotalScore, frac, res.DispatchedTasks, res.ExpiredTasks, avg.Round(time.Microsecond))
+	}
+}
+
+func load(path string, m, n int, seed int64, kind model.IndexKind) (*model.Instance, error) {
+	if path != "" {
+		wire, err := dataset.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return wire.ToModel(kind)
+	}
+	p := workload.Default()
+	p.NumWorkers, p.NumTasks = m, n
+	p.Seed = seed
+	return p.Instance(0, kind)
+}
+
+func indexKind(s string) (model.IndexKind, error) {
+	switch s {
+	case "rtree":
+		return model.IndexRTree, nil
+	case "grid":
+		return model.IndexGrid, nil
+	case "linear":
+		return model.IndexLinear, nil
+	}
+	return 0, fmt.Errorf("unknown index %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "casc-sim: %v\n", err)
+	os.Exit(1)
+}

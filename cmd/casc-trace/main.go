@@ -1,0 +1,75 @@
+// casc-trace analyzes recorded batch traces (JSON Lines produced by the
+// batch simulator's Trace option or by casc-sim -trace): per-run summaries,
+// round-by-round score series, and worker-load fairness.
+//
+// Usage:
+//
+//	casc-trace -in run.jsonl
+//	casc-trace -in run.jsonl -load     # per-worker dispatch counts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"casc/internal/trace"
+)
+
+func main() {
+	var (
+		in   = flag.String("in", "", "trace file (JSON Lines)")
+		load = flag.Bool("load", false, "print the per-worker dispatch distribution")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "casc-trace: -in required")
+		os.Exit(2)
+	}
+	recs, err := trace.ReadFile(*in)
+	if err != nil {
+		fatal(err)
+	}
+	if err := trace.Validate(recs); err != nil {
+		fatal(fmt.Errorf("trace fails validation: %w", err))
+	}
+	fmt.Printf("%d records\n\n", len(recs))
+	fmt.Printf("%-16s %-8s %7s %12s %10s %8s %10s\n",
+		"run", "solver", "rounds", "total score", "of UPPER", "pairs", "avg batch")
+	for _, s := range trace.Summarize(recs) {
+		fmt.Printf("%-16s %-8s %7d %12.2f %9.1f%% %8d %8.2fms\n",
+			s.Run, s.Solver, s.Rounds, s.TotalScore, s.Ratio()*100,
+			s.DispatchedPairs, s.MeanElapsedMS)
+	}
+	if *load {
+		dist := trace.WorkerLoad(recs)
+		type wl struct{ worker, count int }
+		var list []wl
+		for w, c := range dist {
+			list = append(list, wl{w, c})
+		}
+		sort.Slice(list, func(i, j int) bool {
+			if list[i].count != list[j].count {
+				return list[i].count > list[j].count
+			}
+			return list[i].worker < list[j].worker
+		})
+		fmt.Printf("\nworker load (%d workers ever dispatched)\n", len(list))
+		max := 20
+		if len(list) < max {
+			max = len(list)
+		}
+		for _, e := range list[:max] {
+			fmt.Printf("worker %6d: %d dispatches\n", e.worker, e.count)
+		}
+		if len(list) > max {
+			fmt.Printf("... %d more\n", len(list)-max)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "casc-trace: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,101 @@
+package casc_test
+
+import (
+	"context"
+	"fmt"
+
+	"casc"
+)
+
+// The smallest end-to-end use: build an instance by hand (the paper's
+// Example 1), solve it, inspect the result.
+func Example() {
+	q := casc.NewQualityMatrix(4)
+	q.Set(0, 1, 0.05)
+	q.Set(2, 3, 0.05)
+	q.Set(0, 3, 0.50)
+	q.Set(1, 2, 0.40)
+	inst := &casc.Instance{
+		Workers: []casc.Worker{
+			{ID: 1, Loc: casc.Pt(0.25, 0.25), Speed: 1, Radius: 0.15},
+			{ID: 2, Loc: casc.Pt(0.45, 0.45), Speed: 1, Radius: 0.9},
+			{ID: 3, Loc: casc.Pt(0.55, 0.55), Speed: 1, Radius: 0.9},
+			{ID: 4, Loc: casc.Pt(0.35, 0.35), Speed: 1, Radius: 0.9},
+		},
+		Tasks: []casc.Task{
+			{ID: 1, Loc: casc.Pt(0.3, 0.3), Capacity: 2, Deadline: 10},
+			{ID: 2, Loc: casc.Pt(0.7, 0.7), Capacity: 2, Deadline: 10},
+		},
+		Quality: q,
+		B:       2,
+	}
+	inst.BuildCandidates(casc.IndexRTree)
+
+	a, err := casc.NewGT(casc.GTOptions{}).Solve(context.Background(), inst)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("score %.1f\n", a.TotalScore(inst))
+	for _, p := range a.Pairs() {
+		fmt.Printf("w%d -> t%d\n", inst.Workers[p.Worker].ID, inst.Tasks[p.Task].ID)
+	}
+	// Output:
+	// score 1.8
+	// w1 -> t1
+	// w4 -> t1
+	// w2 -> t2
+	// w3 -> t2
+}
+
+// Workloads generate reproducible Table II instances.
+func ExampleWorkloadParams() {
+	params := casc.DefaultWorkload()
+	params.NumWorkers, params.NumTasks = 100, 40
+	params.Seed = 42
+
+	inst, err := params.Instance(0, casc.IndexRTree)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(inst.Workers), "workers,", len(inst.Tasks), "tasks, B =", inst.B)
+	// Output:
+	// 100 workers, 40 tasks, B = 3
+}
+
+// The Equation 1 estimator blends a prior with observed ratings.
+func ExampleNewQualityHistory() {
+	h := casc.NewQualityHistory(3, 0.5, 0.5)
+	fmt.Printf("before any rating: %.2f\n", h.Quality(0, 1))
+	h.Record(0, 1, 1.0) // a requester rated their shared task 1.0
+	fmt.Printf("after one great rating: %.2f\n", h.Quality(0, 1))
+	// Output:
+	// before any rating: 0.50
+	// after one great rating: 0.75
+}
+
+// UPPER (Equation 9) bounds every achievable assignment score.
+func ExampleUpper() {
+	params := casc.DefaultWorkload()
+	params.NumWorkers, params.NumTasks = 100, 40
+	params.Seed = 42
+	inst, _ := params.Instance(0, casc.IndexRTree)
+
+	a, _ := casc.NewTPG().Solve(context.Background(), inst)
+	fmt.Println(a.TotalScore(inst) <= casc.Upper(inst))
+	// Output:
+	// true
+}
+
+// Online mode assigns each worker immediately on arrival.
+func ExampleRunOnline() {
+	params := casc.DefaultWorkload()
+	params.NumWorkers, params.NumTasks = 100, 40
+	params.Seed = 42
+	inst, _ := params.Instance(0, casc.IndexRTree)
+
+	online := casc.RunOnline(inst, casc.OnlineGreedy{})
+	batch, _ := casc.NewGT(casc.GTOptions{}).Solve(context.Background(), inst)
+	fmt.Println("batch beats online:", batch.TotalScore(inst) >= online.TotalScore(inst))
+	// Output:
+	// batch beats online: true
+}

@@ -1,0 +1,91 @@
+// Online vs. batch — what the paper's batch-based framework buys.
+//
+// The paper's related work (§VII) contrasts two server-assigned-task modes:
+// *online*, where each arriving worker must be assigned immediately and
+// irrevocably, and *batch*, where the platform periodically optimizes over
+// everyone currently available (the mode CA-SC adopts). This example runs
+// both on identical instances: workers trickle in over the batch window,
+// the online policies commit one by one, and batch GT gets to re-optimize
+// the whole pool at the window's end. The cooperation score gap is the
+// price of immediacy.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"casc"
+)
+
+func main() {
+	ctx := context.Background()
+	const trials = 10
+
+	sums := map[string]float64{}
+	var upperSum float64
+	for trial := 0; trial < trials; trial++ {
+		inst := makeInstance(int64(trial))
+		upperSum += casc.Upper(inst)
+
+		// Online policies: workers arrive in Arrive order.
+		sums["online greedy"] += casc.RunOnline(inst, casc.OnlineGreedy{}).TotalScore(inst)
+		sums["online threshold 0.3"] += casc.RunOnline(inst, casc.OnlineThreshold{Theta: 0.3}).TotalScore(inst)
+		sums["online random"] += casc.RunOnline(inst,
+			casc.OnlineRandom{Rng: rand.New(rand.NewSource(int64(trial)))}).TotalScore(inst)
+
+		// Batch mode: the same pool, optimized at once.
+		for _, name := range []string{"TPG", "GT"} {
+			s, err := casc.SolverByName(name, int64(trial))
+			if err != nil {
+				log.Fatal(err)
+			}
+			a, err := s.Solve(ctx, inst)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sums["batch "+name] += a.TotalScore(inst)
+		}
+	}
+
+	fmt.Printf("average total cooperation score over %d instances\n", trials)
+	fmt.Printf("(300 workers arriving one by one, 100 tasks, B=3)\n\n")
+	order := []string{"batch GT", "batch TPG", "online greedy", "online threshold 0.3", "online random"}
+	batchGT := sums["batch GT"]
+	for _, name := range order {
+		fmt.Printf("%-22s %9.2f   (%.0f%% of batch GT)\n",
+			name, sums[name]/trials, sums[name]/batchGT*100)
+	}
+	fmt.Printf("%-22s %9.2f\n", "UPPER estimate", upperSum/trials)
+	fmt.Println("\nthe batch framework's advantage is exactly the reordering freedom the")
+	fmt.Println("online mode gives up: early arrivals lock in mediocre groups.")
+}
+
+func makeInstance(seed int64) *casc.Instance {
+	r := rand.New(rand.NewSource(seed + 1000))
+	inst := &casc.Instance{
+		Quality: casc.QualitySynthetic{N: 300, Seed: uint64(seed) + 7},
+		B:       3,
+		Now:     1, // the batch moment: everyone has arrived by now
+	}
+	for i := 0; i < 300; i++ {
+		inst.Workers = append(inst.Workers, casc.Worker{
+			ID:     i,
+			Loc:    casc.Pt(r.Float64(), r.Float64()),
+			Speed:  0.02 + r.Float64()*0.06,
+			Radius: 0.1 + r.Float64()*0.1,
+			Arrive: r.Float64(), // staggered arrivals within the window
+		})
+	}
+	for j := 0; j < 100; j++ {
+		inst.Tasks = append(inst.Tasks, casc.Task{
+			ID:       j,
+			Loc:      casc.Pt(r.Float64(), r.Float64()),
+			Capacity: 5,
+			Deadline: 4,
+		})
+	}
+	inst.BuildCandidates(casc.IndexRTree)
+	return inst
+}

@@ -1,0 +1,45 @@
+// Quickstart: generate one Table II default batch, solve it with every
+// approach from the paper, and compare against the UPPER bound.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"casc"
+)
+
+func main() {
+	ctx := context.Background()
+
+	// One synthetic batch at Table II defaults, scaled down to run in
+	// well under a second: 300 workers, 120 tasks, B = 3, a_j = 5.
+	params := casc.DefaultWorkload()
+	params.NumWorkers = 300
+	params.NumTasks = 120
+	params.Seed = 7
+
+	inst, err := params.Instance(0, casc.IndexRTree)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("batch: %d workers, %d tasks, %d valid worker-and-task pairs\n",
+		len(inst.Workers), len(inst.Tasks), inst.NumValidPairs())
+	fmt.Printf("UPPER bound on total cooperation score (Eq. 9): %.2f\n\n", casc.Upper(inst))
+
+	for _, name := range casc.AllSolverNames() {
+		solver, err := casc.SolverByName(name, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		a, err := solver.Solve(ctx, inst)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s score %8.2f  completed tasks %3d  in %s\n",
+			name, a.TotalScore(inst), a.CompletedTasks(inst), time.Since(start).Round(time.Microsecond))
+	}
+}

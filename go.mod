@@ -1,0 +1,3 @@
+module casc
+
+go 1.22

@@ -1,0 +1,57 @@
+package assign
+
+import (
+	"context"
+	"sort"
+
+	"casc/internal/model"
+)
+
+// EquilibriumSpread reports the empirical quality spread across sampled
+// Nash equilibria of one instance. §V-C observes that "for any strategic
+// game, there may be many Nash equilibriums with different qualities";
+// sampling best-response runs from different random initializations makes
+// that spread measurable — an empirical stand-in for the (intractable)
+// exact PoS and PoA.
+type EquilibriumSpread struct {
+	// Scores of the sampled equilibria, ascending.
+	Scores []float64
+	// Best, Worst and Mean of Scores.
+	Best, Worst, Mean float64
+	// TPGInitScore is the equilibrium reached from the TPG initialization
+	// (Algorithm 3 line 1) for reference.
+	TPGInitScore float64
+	// Upper is the Equation 9 bound; Best/Upper lower-bounds PoS·(OPT/Upper)
+	// and Worst/Upper lower-bounds PoA·(OPT/Upper).
+	Upper float64
+}
+
+// SampleEquilibria runs GT from k random initializations (plus once from
+// TPG) and collects the resulting equilibrium scores.
+func SampleEquilibria(ctx context.Context, in *model.Instance, k int) (EquilibriumSpread, error) {
+	sp := EquilibriumSpread{Upper: Upper(in)}
+	for i := 0; i < k; i++ {
+		gt := NewGT(GTOptions{RandomInit: true, Seed: int64(i + 1)})
+		a, err := gt.Solve(ctx, in)
+		if err != nil {
+			return sp, err
+		}
+		sp.Scores = append(sp.Scores, a.TotalScore(in))
+	}
+	gt := NewGT(GTOptions{})
+	a, err := gt.Solve(ctx, in)
+	if err != nil {
+		return sp, err
+	}
+	sp.TPGInitScore = a.TotalScore(in)
+	sp.Scores = append(sp.Scores, sp.TPGInitScore)
+	sort.Float64s(sp.Scores)
+	sp.Worst = sp.Scores[0]
+	sp.Best = sp.Scores[len(sp.Scores)-1]
+	var sum float64
+	for _, s := range sp.Scores {
+		sum += s
+	}
+	sp.Mean = sum / float64(len(sp.Scores))
+	return sp, nil
+}

@@ -1,0 +1,277 @@
+package assign
+
+import (
+	"context"
+
+	"casc/internal/game"
+	"casc/internal/model"
+	"casc/internal/stats"
+)
+
+// GTOptions configure the game theoretic approach.
+type GTOptions struct {
+	// LUB enables lazy updating of best responses (§V-D, Theorems V.3/V.4).
+	LUB bool
+	// Epsilon enables threshold stop of the iteration (§V-D): stop once a
+	// round improves the total cooperation score by less than Epsilon times
+	// its current value. Zero runs to a pure Nash equilibrium.
+	Epsilon float64
+	// RandomInit initializes each worker on a uniformly random valid task
+	// (the generic best-response framework's "randomly selects a strategy
+	// for each player", §V-A) instead of the TPG assignment of Algorithm 3
+	// line 1. Exposed for the ablation bench. Note that the *empty*
+	// assignment would be useless here: it is itself a (worthless) Nash
+	// equilibrium, since no single worker joining a below-B group gains
+	// anything — a nice illustration of why equilibrium selection matters.
+	RandomInit bool
+	// Seed drives RandomInit's randomness.
+	Seed int64
+	// MaxRounds caps best-response rounds (0: engine default).
+	MaxRounds int
+	// RecordAnytime captures the per-round potential profile into
+	// GT.Anytime after Solve — the anytime behaviour §V-D describes (score
+	// climbs round by round; interrupt anywhere and keep a valid result).
+	RecordAnytime bool
+	// GainPriority processes workers in descending order of their last
+	// observed improvement within a round (scheduling ablation; see
+	// game.Options.GainPriority).
+	GainPriority bool
+}
+
+// AnytimePoint is one round of GT's anytime profile.
+type AnytimePoint struct {
+	Round     int
+	Potential float64
+	Gain      float64
+}
+
+// GT is the game theoretic approach of §V (Algorithm 3): model each worker
+// as a player whose strategies are their valid tasks and whose utility is
+// the cooperation quality increase ΔQ (Equation 5), initialize with TPG,
+// then run best-response dynamics until a pure Nash equilibrium. The CA-SC
+// strategic game is an exact potential game with potential Q(T)
+// (Theorem V.1), so the dynamics converge.
+type GT struct {
+	opts GTOptions
+	// Stats of the last Solve call.
+	Stats game.Result
+	// Anytime holds the per-round potential profile of the last Solve when
+	// GTOptions.RecordAnytime is set.
+	Anytime []AnytimePoint
+}
+
+// NewGT returns a GT solver with the given options.
+func NewGT(opts GTOptions) *GT { return &GT{opts: opts} }
+
+// Name implements Solver.
+func (s *GT) Name() string {
+	switch {
+	case s.opts.LUB && s.opts.Epsilon > 0:
+		return "GT+ALL"
+	case s.opts.LUB:
+		return "GT+LUB"
+	case s.opts.Epsilon > 0:
+		return "GT+TSI"
+	default:
+		return "GT"
+	}
+}
+
+// Solve implements Solver.
+func (s *GT) Solve(ctx context.Context, in *model.Instance) (*model.Assignment, error) {
+	var a *model.Assignment
+	if s.opts.RandomInit {
+		a = randomInit(in, s.opts.Seed)
+	} else {
+		init, err := NewTPG().Solve(ctx, in)
+		if err != nil {
+			return nil, err
+		}
+		a = init
+	}
+	if ctx.Err() != nil {
+		return a, nil
+	}
+	g := newCASCGame(in, a)
+	gopts := game.Options{
+		Epsilon:      s.opts.Epsilon,
+		Lazy:         s.opts.LUB,
+		MaxRounds:    s.opts.MaxRounds,
+		Context:      ctx,
+		GainPriority: s.opts.GainPriority,
+	}
+	if s.opts.RecordAnytime {
+		s.Anytime = s.Anytime[:0]
+		gopts.OnRound = func(round int, potential, gain float64) {
+			s.Anytime = append(s.Anytime, AnytimePoint{Round: round, Potential: potential, Gain: gain})
+		}
+	}
+	s.Stats = game.Run(g, gopts)
+	return g.assignment(), nil
+}
+
+// randomInit assigns each worker a uniformly random candidate task with
+// spare capacity (workers with no open candidate stay unassigned).
+func randomInit(in *model.Instance, seed int64) *model.Assignment {
+	r := stats.NewRNG(seed)
+	a := model.NewAssignment(in)
+	load := make([]int, len(in.Tasks))
+	var open []int
+	for w := range in.Workers {
+		open = open[:0]
+		for _, t := range in.WorkerCand[w] {
+			if load[t] < in.Tasks[t].Capacity {
+				open = append(open, t)
+			}
+		}
+		if len(open) == 0 {
+			continue
+		}
+		t := open[r.Intn(len(open))]
+		a.Assign(w, t)
+		load[t]++
+	}
+	return a
+}
+
+// cascGame is the CA-SC strategic game (§V-B). Strategies of worker w are
+// encoded as indices into model.Instance.WorkerCand[w], with the sentinel
+// stratNone meaning "no task".
+type cascGame struct {
+	in     *model.Instance
+	groups []*model.GroupScore
+	cur    []int // worker -> task index or model.Unassigned
+}
+
+const stratNone = -1
+
+func newCASCGame(in *model.Instance, init *model.Assignment) *cascGame {
+	g := &cascGame{
+		in:     in,
+		groups: newGroups(in),
+		cur:    make([]int, len(in.Workers)),
+	}
+	for w := range g.cur {
+		g.cur[w] = model.Unassigned
+	}
+	for t, ws := range init.TaskWorkers {
+		for _, w := range ws {
+			g.groups[t].Join(w)
+			g.cur[w] = t
+		}
+	}
+	return g
+}
+
+// NumPlayers implements game.Game.
+func (g *cascGame) NumPlayers() int { return len(g.cur) }
+
+// moveGain returns the potential (= total cooperation score) change of
+// moving worker w to task t, together with the member that must be evicted
+// when t is full (-1 when none). For non-crowding moves the potential
+// change equals the utility change of Equation 5 because the game is an
+// exact potential game (Theorem V.1); for crowding moves we use the
+// potential change directly, which keeps the dynamics monotone and
+// convergent (DESIGN.md §4.3).
+func (g *cascGame) moveGain(w, t int) (gain float64, evict int) {
+	leaveLoss := 0.0
+	if ct := g.cur[w]; ct != model.Unassigned {
+		leaveLoss = g.groups[ct].LeaveDelta(w)
+	}
+	grp := g.groups[t]
+	if grp.Len() < grp.Capacity() {
+		return grp.JoinDelta(w) - leaveLoss, -1
+	}
+	// Full task: joining must crowd out the member whose replacement by w
+	// yields the best resulting quality (Theorems V.3/V.4 semantics).
+	bestDelta, bestOut := 0.0, -1
+	for _, out := range grp.Members() {
+		if d := grp.SwapDelta(out, w); bestOut < 0 || d > bestDelta {
+			bestDelta, bestOut = d, out
+		}
+	}
+	return bestDelta - leaveLoss, bestOut
+}
+
+// BestResponse implements game.Game. Strategy encoding: 0..len(cand)-1 are
+// the worker's candidate tasks, len(cand) is "no task".
+func (g *cascGame) BestResponse(w int) (int, float64, bool) {
+	cand := g.in.WorkerCand[w]
+	bestS, bestGain := stratNone, 0.0
+	// Option: leave the current task entirely. Gain = -(LeaveDelta), which
+	// is positive when the worker's presence lowers its group's quality.
+	if ct := g.cur[w]; ct != model.Unassigned {
+		if gain := -g.groups[ct].LeaveDelta(w); gain > bestGain {
+			bestS, bestGain = len(cand), gain
+		}
+	}
+	for si, t := range cand {
+		if t == g.cur[w] {
+			continue
+		}
+		gain, _ := g.moveGain(w, t)
+		if gain > bestGain {
+			bestS, bestGain = si, gain
+		}
+	}
+	if bestS == stratNone {
+		return 0, 0, false
+	}
+	return bestS, bestGain, true
+}
+
+// Apply implements game.Game.
+func (g *cascGame) Apply(w, strategy int) []int {
+	cand := g.in.WorkerCand[w]
+	var affected []int
+	leave := func() {
+		if ct := g.cur[w]; ct != model.Unassigned {
+			g.groups[ct].Leave(w)
+			g.cur[w] = model.Unassigned
+			affected = append(affected, g.in.TaskCand[ct]...)
+		}
+	}
+	if strategy == len(cand) {
+		leave()
+		return affected
+	}
+	t := cand[strategy]
+	grp := g.groups[t]
+	if grp.Len() >= grp.Capacity() {
+		// Crowd out the best-replacement member (recomputed here; the group
+		// may have changed since BestResponse ran under eager dynamics, but
+		// within one engine step it has not).
+		_, out := g.moveGain(w, t)
+		if out >= 0 {
+			grp.Leave(out)
+			g.cur[out] = model.Unassigned
+			affected = append(affected, out)
+		}
+	}
+	leave()
+	grp.Join(w)
+	g.cur[w] = t
+	affected = append(affected, g.in.TaskCand[t]...)
+	return affected
+}
+
+// Potential implements game.Game: the overall cooperation quality revenue
+// Q(T) of Equation 3, which is the exact potential of the game.
+func (g *cascGame) Potential() float64 {
+	var total float64
+	for _, grp := range g.groups {
+		total += grp.Q()
+	}
+	return total
+}
+
+// assignment materializes the current joint strategy as an Assignment.
+func (g *cascGame) assignment() *model.Assignment {
+	a := model.NewAssignment(g.in)
+	for w, t := range g.cur {
+		if t != model.Unassigned {
+			a.Assign(w, t)
+		}
+	}
+	return a
+}

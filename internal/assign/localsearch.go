@@ -1,0 +1,116 @@
+package assign
+
+import (
+	"context"
+
+	"casc/internal/model"
+)
+
+// LocalSearch refines a base solver's assignment with pairwise *swap*
+// moves: two workers assigned to different tasks exchange places when both
+// are candidates of each other's task and the exchange raises the total
+// cooperation score. Best-response dynamics (GT) only ever move one worker
+// at a time, so a Nash equilibrium can still admit profitable swaps — the
+// classic exchange-blocked local optimum (see TestLocalSearchEscapesNash
+// for a concrete 2-task instance). LocalSearch is the natural "future
+// work" refinement on top of the paper's GT: it starts from the base
+// solver's output and applies first-improvement swap passes until a full
+// pass finds nothing or MaxPasses is hit.
+type LocalSearch struct {
+	Base Solver
+	// MaxPasses caps full swap sweeps (default 20).
+	MaxPasses int
+	// Swaps reports how many improving swaps the last Solve applied.
+	Swaps int
+}
+
+// NewLocalSearch wraps base (nil means GT with defaults).
+func NewLocalSearch(base Solver) *LocalSearch {
+	if base == nil {
+		base = NewGT(GTOptions{})
+	}
+	return &LocalSearch{Base: base}
+}
+
+// Name implements Solver.
+func (s *LocalSearch) Name() string { return s.Base.Name() + "+LS" }
+
+// Solve implements Solver.
+func (s *LocalSearch) Solve(ctx context.Context, in *model.Instance) (*model.Assignment, error) {
+	a, err := s.Base.Solve(ctx, in)
+	if err != nil {
+		return nil, err
+	}
+	s.Swaps = 0
+	maxPasses := s.MaxPasses
+	if maxPasses <= 0 {
+		maxPasses = 20
+	}
+
+	groups := newGroups(in)
+	for t, ws := range a.TaskWorkers {
+		for _, w := range ws {
+			groups[t].Join(w)
+		}
+	}
+	// candSet[w] is a lookup for "is t a candidate of w".
+	candSet := make([]map[int]bool, len(in.Workers))
+	memberOf := func(w int) int { return a.WorkerTask[w] }
+	isCand := func(w, t int) bool {
+		if candSet[w] == nil {
+			set := make(map[int]bool, len(in.WorkerCand[w]))
+			for _, c := range in.WorkerCand[w] {
+				set[c] = true
+			}
+			candSet[w] = set
+		}
+		return candSet[w][t]
+	}
+
+	for pass := 0; pass < maxPasses; pass++ {
+		if ctx.Err() != nil {
+			break
+		}
+		improved := false
+		for w1 := range in.Workers {
+			t1 := memberOf(w1)
+			if t1 == model.Unassigned {
+				continue
+			}
+			for _, t2 := range in.WorkerCand[w1] {
+				if t2 == t1 {
+					continue
+				}
+				g1, g2 := groups[t1], groups[t2]
+				for _, w2 := range g2.Members() {
+					if !isCand(w2, t1) {
+						continue
+					}
+					delta := g1.SwapDelta(w1, w2) + g2.SwapDelta(w2, w1)
+					if delta <= 1e-12 {
+						continue
+					}
+					// Apply the swap.
+					g1.Leave(w1)
+					g2.Leave(w2)
+					g1.Join(w2)
+					g2.Join(w1)
+					a.Unassign(w1)
+					a.Unassign(w2)
+					a.Assign(w1, t2)
+					a.Assign(w2, t1)
+					s.Swaps++
+					improved = true
+					break // w1 moved; restart its scan from the new task
+				}
+				if memberOf(w1) != t1 {
+					break
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return a, nil
+}

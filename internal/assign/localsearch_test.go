@@ -1,0 +1,146 @@
+package assign
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"casc/internal/coop"
+	"casc/internal/game"
+	"casc/internal/geo"
+	"casc/internal/model"
+)
+
+// exchangeBlockedInstance builds the canonical case where a pure Nash
+// equilibrium admits a profitable pairwise swap: two capacity-2 tasks,
+// four workers, qualities arranged so the current grouping {a,b},{c,d} is
+// stable under every unilateral move (including crowding) yet the swap
+// b↔c improves both groups simultaneously.
+func exchangeBlockedInstance() (*model.Instance, *model.Assignment) {
+	q := coop.NewMatrix(4)
+	q.Set(0, 1, 0.5) // a-b
+	q.Set(2, 3, 0.5) // c-d
+	q.Set(0, 2, 0.6) // a-c
+	q.Set(1, 3, 0.6) // b-d
+	in := &model.Instance{Quality: q, B: 2}
+	for i := 0; i < 4; i++ {
+		in.Workers = append(in.Workers, model.Worker{ID: i, Loc: geo.Pt(0.5, 0.5), Speed: 1, Radius: 1})
+	}
+	in.Tasks = []model.Task{
+		{ID: 0, Loc: geo.Pt(0.4, 0.5), Capacity: 2, Deadline: 10},
+		{ID: 1, Loc: geo.Pt(0.6, 0.5), Capacity: 2, Deadline: 10},
+	}
+	in.BuildCandidates(model.IndexLinear)
+	a := model.NewAssignment(in)
+	a.Assign(0, 0) // a
+	a.Assign(1, 0) // b
+	a.Assign(2, 1) // c
+	a.Assign(3, 1) // d
+	return in, a
+}
+
+// fixedSolver returns a pre-built assignment; used to seed LocalSearch.
+type fixedSolver struct{ a *model.Assignment }
+
+func (f fixedSolver) Name() string { return "FIXED" }
+func (f fixedSolver) Solve(ctx context.Context, in *model.Instance) (*model.Assignment, error) {
+	return f.a.Clone(), nil
+}
+
+func TestLocalSearchEscapesNash(t *testing.T) {
+	in, a := exchangeBlockedInstance()
+	// Verify the starting point is a genuine Nash equilibrium.
+	g := newCASCGame(in, a)
+	if !game.IsNash(g, 1e-9) {
+		t.Fatal("setup: grouping {a,b},{c,d} should be Nash")
+	}
+	if got := a.TotalScore(in); math.Abs(got-2.0) > 1e-9 {
+		t.Fatalf("starting score %v, want 2.0", got)
+	}
+	ls := NewLocalSearch(fixedSolver{a: a})
+	out, err := ls.Solve(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.TotalScore(in); math.Abs(got-2.4) > 1e-9 {
+		t.Fatalf("local search score %v, want 2.4 (swap b↔c)", got)
+	}
+	if ls.Swaps == 0 {
+		t.Error("no swaps recorded")
+	}
+	if err := out.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocalSearchNeverHurts(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	ctx := context.Background()
+	for trial := 0; trial < 8; trial++ {
+		in := randomInstance(r, 60, 20, 3)
+		base, err := NewGT(GTOptions{}).Solve(ctx, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ls := NewLocalSearch(fixedSolver{a: base})
+		out, err := ls.Solve(ctx, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := out.Validate(in); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if out.TotalScore(in) < base.TotalScore(in)-1e-9 {
+			t.Fatalf("trial %d: LS lowered score %v -> %v",
+				trial, base.TotalScore(in), out.TotalScore(in))
+		}
+		if ub := Upper(in); out.TotalScore(in) > ub+1e-9 {
+			t.Fatalf("trial %d: LS score above UPPER", trial)
+		}
+	}
+}
+
+func TestLocalSearchSometimesImprovesGT(t *testing.T) {
+	// Over enough random instances the swap neighbourhood finds something
+	// GT's unilateral moves missed at least once.
+	r := rand.New(rand.NewSource(62))
+	ctx := context.Background()
+	improved := 0
+	for trial := 0; trial < 20; trial++ {
+		in := randomInstance(r, 50, 15, 3)
+		base, _ := NewGT(GTOptions{}).Solve(ctx, in)
+		ls := NewLocalSearch(fixedSolver{a: base})
+		out, _ := ls.Solve(ctx, in)
+		if out.TotalScore(in) > base.TotalScore(in)+1e-9 {
+			improved++
+		}
+	}
+	if improved == 0 {
+		t.Error("LS never improved any of 20 GT equilibria; swap move broken?")
+	}
+}
+
+func TestLocalSearchName(t *testing.T) {
+	ls := NewLocalSearch(nil)
+	if ls.Name() != "GT+LS" {
+		t.Errorf("Name = %q", ls.Name())
+	}
+	if ls.Base == nil {
+		t.Error("nil base not defaulted")
+	}
+}
+
+func TestLocalSearchCancelledContext(t *testing.T) {
+	in, a := exchangeBlockedInstance()
+	ls := NewLocalSearch(fixedSolver{a: a})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := ls.Solve(ctx, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,198 @@
+package assign
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"casc/internal/coop"
+	"casc/internal/geo"
+	"casc/internal/model"
+)
+
+// Metamorphic tests: known transformations of an instance must transform
+// solver outputs predictably. These catch bugs no oracle-based test can —
+// a solver that silently mixes up coordinates or mishandles quality
+// normalization still produces "valid" assignments.
+
+// denseMatrixInstance builds an instance backed by an explicit matrix so a
+// transformed copy can be derived exactly.
+func denseMatrixInstance(r *rand.Rand, nW, nT int) (*model.Instance, *coop.Matrix) {
+	q := coop.NewMatrix(nW)
+	for i := 0; i < nW; i++ {
+		for k := i + 1; k < nW; k++ {
+			q.Set(i, k, r.Float64()*0.9)
+		}
+	}
+	in := &model.Instance{Quality: q, B: 3}
+	for i := 0; i < nW; i++ {
+		in.Workers = append(in.Workers, model.Worker{
+			ID:     i,
+			Loc:    geo.Pt(r.Float64(), r.Float64()),
+			Speed:  0.02 + r.Float64()*0.08,
+			Radius: 0.15 + r.Float64()*0.15,
+		})
+	}
+	for j := 0; j < nT; j++ {
+		in.Tasks = append(in.Tasks, model.Task{
+			ID: j, Loc: geo.Pt(r.Float64(), r.Float64()),
+			Capacity: 3 + r.Intn(3), Deadline: 3 + r.Float64()*2,
+		})
+	}
+	in.BuildCandidates(model.IndexRTree)
+	return in, q
+}
+
+func cloneWithQuality(in *model.Instance, q model.QualityModel) *model.Instance {
+	out := &model.Instance{
+		Workers: append([]model.Worker(nil), in.Workers...),
+		Tasks:   append([]model.Task(nil), in.Tasks...),
+		Quality: q,
+		B:       in.B,
+		Now:     in.Now,
+	}
+	out.BuildCandidates(model.IndexRTree)
+	return out
+}
+
+func TestMetamorphicQualityScaling(t *testing.T) {
+	// Scaling every pairwise quality by c ∈ (0,1] scales every group score
+	// by c (Equation 2 is linear in q), so deterministic solvers must
+	// return the SAME assignment and a score scaled by exactly c.
+	r := rand.New(rand.NewSource(71))
+	ctx := context.Background()
+	for trial := 0; trial < 3; trial++ {
+		in, q := denseMatrixInstance(r, 50, 15)
+		const c = 0.37
+		scaled := coop.NewMatrix(50)
+		for i := 0; i < 50; i++ {
+			for k := i + 1; k < 50; k++ {
+				scaled.Set(i, k, q.Quality(i, k)*c)
+			}
+		}
+		inScaled := cloneWithQuality(in, scaled)
+		for _, name := range []string{"TPG", "GT", "MFLOW"} {
+			s1, _ := ByName(name, 1)
+			s2, _ := ByName(name, 1)
+			a1, err := s1.Solve(ctx, in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a2, err := s2.Solve(ctx, inScaled)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc1, sc2 := a1.TotalScore(in), a2.TotalScore(inScaled)
+			if math.Abs(sc2-c*sc1) > 1e-6*(1+sc1) {
+				t.Errorf("trial %d %s: scaled score %v, want %v·%v = %v",
+					trial, name, sc2, c, sc1, c*sc1)
+			}
+			// The assignments themselves must agree for TPG and MFLOW
+			// (fully deterministic, scale-invariant selection). GT's
+			// epsilon floor could theoretically tip a near-tie, so we only
+			// check scores there.
+			if name != "GT" {
+				p1, p2 := a1.Pairs(), a2.Pairs()
+				if len(p1) != len(p2) {
+					t.Fatalf("trial %d %s: pair counts differ under scaling", trial, name)
+				}
+				for i := range p1 {
+					if p1[i] != p2[i] {
+						t.Fatalf("trial %d %s: assignment changed under scaling", trial, name)
+					}
+				}
+			}
+		}
+		// UPPER scales linearly too.
+		u1, u2 := Upper(in), Upper(inScaled)
+		if math.Abs(u2-c*u1) > 1e-6*(1+u1) {
+			t.Errorf("trial %d: UPPER %v scaled to %v, want %v", trial, u1, u2, c*u1)
+		}
+	}
+}
+
+func TestMetamorphicTranslationInvariance(t *testing.T) {
+	// Translating every location by the same vector (staying in bounds)
+	// preserves all distances, hence candidates, hence solver outputs.
+	r := rand.New(rand.NewSource(72))
+	ctx := context.Background()
+	in, q := denseMatrixInstance(r, 40, 12)
+	// Shrink into [0, 0.8] so the +0.1 shift stays in bounds.
+	shift := geo.Pt(0.1, 0.1)
+	shrunk := cloneWithQuality(in, q)
+	for i := range shrunk.Workers {
+		shrunk.Workers[i].Loc = geo.Pt(shrunk.Workers[i].Loc.X*0.8, shrunk.Workers[i].Loc.Y*0.8)
+	}
+	for j := range shrunk.Tasks {
+		shrunk.Tasks[j].Loc = geo.Pt(shrunk.Tasks[j].Loc.X*0.8, shrunk.Tasks[j].Loc.Y*0.8)
+	}
+	shrunk.BuildCandidates(model.IndexRTree)
+	moved := cloneWithQuality(shrunk, q)
+	for i := range moved.Workers {
+		moved.Workers[i].Loc = moved.Workers[i].Loc.Add(shift.X, shift.Y)
+	}
+	for j := range moved.Tasks {
+		moved.Tasks[j].Loc = moved.Tasks[j].Loc.Add(shift.X, shift.Y)
+	}
+	moved.BuildCandidates(model.IndexRTree)
+
+	for w := range shrunk.Workers {
+		if len(shrunk.WorkerCand[w]) != len(moved.WorkerCand[w]) {
+			t.Fatalf("worker %d: candidate sets differ under translation", w)
+		}
+		for i := range shrunk.WorkerCand[w] {
+			if shrunk.WorkerCand[w][i] != moved.WorkerCand[w][i] {
+				t.Fatalf("worker %d: candidate sets differ under translation", w)
+			}
+		}
+	}
+	for _, name := range []string{"TPG", "GT"} {
+		s1, _ := ByName(name, 1)
+		s2, _ := ByName(name, 1)
+		a1, _ := s1.Solve(ctx, shrunk)
+		a2, _ := s2.Solve(ctx, moved)
+		if math.Abs(a1.TotalScore(shrunk)-a2.TotalScore(moved)) > 1e-9 {
+			t.Errorf("%s: score changed under translation: %v vs %v",
+				name, a1.TotalScore(shrunk), a2.TotalScore(moved))
+		}
+	}
+}
+
+func TestMetamorphicWorkerRelabeling(t *testing.T) {
+	// Permuting worker order (with the quality matrix permuted to match)
+	// must not change the total score of deterministic solvers' outputs —
+	// tie-breaking may differ, so we compare scores, not assignments.
+	r := rand.New(rand.NewSource(73))
+	ctx := context.Background()
+	in, q := denseMatrixInstance(r, 30, 10)
+	perm := r.Perm(30) // perm[newIdx] = oldIdx
+	qPerm := coop.NewMatrix(30)
+	for a := 0; a < 30; a++ {
+		for b := a + 1; b < 30; b++ {
+			if v := q.Quality(perm[a], perm[b]); v > 0 {
+				qPerm.Set(a, b, v)
+			}
+		}
+	}
+	relabeled := &model.Instance{Quality: qPerm, B: in.B}
+	for newIdx := 0; newIdx < 30; newIdx++ {
+		relabeled.Workers = append(relabeled.Workers, in.Workers[perm[newIdx]])
+	}
+	relabeled.Tasks = append([]model.Task(nil), in.Tasks...)
+	relabeled.BuildCandidates(model.IndexRTree)
+
+	for _, name := range []string{"TPG", "MFLOW"} {
+		s1, _ := ByName(name, 1)
+		s2, _ := ByName(name, 1)
+		a1, _ := s1.Solve(ctx, in)
+		a2, _ := s2.Solve(ctx, relabeled)
+		d := math.Abs(a1.TotalScore(in) - a2.TotalScore(relabeled))
+		// TPG's tie-breaks are order-dependent, so allow a small relative
+		// slack; systematic relabeling bugs produce large gaps.
+		if d > 0.05*(1+a1.TotalScore(in)) {
+			t.Errorf("%s: relabeling changed score %v -> %v",
+				name, a1.TotalScore(in), a2.TotalScore(relabeled))
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package assign
+
+import (
+	"context"
+
+	"casc/internal/maxflow"
+	"casc/internal/model"
+)
+
+// MFlow is the maximum-flow baseline of the paper's experiments (§VI-A),
+// following GeoCrowd [11]: each batch becomes a flow network
+//
+//	source → each worker (capacity 1) → each valid task (capacity 1)
+//	      → sink (capacity a_j)
+//
+// and a maximum flow yields the assignment with the maximum number of valid
+// worker-and-task pairs. MFLOW is cooperation-oblivious — it never looks at
+// q_i(w_k) — which is exactly why the paper uses it as a baseline.
+type MFlow struct{}
+
+// NewMFlow returns the MFLOW baseline solver.
+func NewMFlow() *MFlow { return &MFlow{} }
+
+// Name implements Solver.
+func (s *MFlow) Name() string { return "MFLOW" }
+
+// Solve implements Solver.
+func (s *MFlow) Solve(ctx context.Context, in *model.Instance) (*model.Assignment, error) {
+	nW, nT := len(in.Workers), len(in.Tasks)
+	// Node layout: workers [0,nW), tasks [nW,nW+nT), source, sink.
+	src := nW + nT
+	sink := src + 1
+	g := maxflow.NewGraph(nW + nT + 2)
+	type edgeRef struct {
+		worker, task, idx int
+	}
+	var refs []edgeRef
+	for w := 0; w < nW; w++ {
+		if len(in.WorkerCand[w]) == 0 {
+			continue
+		}
+		g.AddEdge(src, w, 1)
+		for _, t := range in.WorkerCand[w] {
+			refs = append(refs, edgeRef{worker: w, task: t, idx: g.AddEdge(w, nW+t, 1)})
+		}
+	}
+	for t := 0; t < nT; t++ {
+		g.AddEdge(nW+t, sink, in.Tasks[t].Capacity)
+	}
+	if ctx.Err() != nil {
+		return model.NewAssignment(in), nil
+	}
+	g.MaxFlow(src, sink)
+	a := model.NewAssignment(in)
+	for _, r := range refs {
+		if g.Flow(r.idx) > 0 {
+			a.Assign(r.worker, r.task)
+		}
+	}
+	return a, nil
+}

@@ -1,0 +1,65 @@
+package assign
+
+import (
+	"context"
+	"fmt"
+
+	"casc/internal/model"
+)
+
+// Portfolio runs several solvers on the same instance and keeps the best
+// assignment. CA-SC heuristics have no dominance relation in general
+// (GT ≥ its own TPG initialization, but a differently-seeded start can end
+// in a different equilibrium), so a portfolio is the cheap way to buy the
+// max. Solvers run sequentially and share the context.
+type Portfolio struct {
+	Solvers []Solver
+	// Winner records which member produced the returned assignment.
+	Winner string
+}
+
+// NewPortfolio builds a portfolio from solver names.
+func NewPortfolio(names []string, seed int64) (*Portfolio, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("assign: empty portfolio")
+	}
+	p := &Portfolio{}
+	for _, n := range names {
+		s, err := ByName(n, seed)
+		if err != nil {
+			return nil, err
+		}
+		p.Solvers = append(p.Solvers, s)
+	}
+	return p, nil
+}
+
+// Name implements Solver.
+func (p *Portfolio) Name() string { return "PORTFOLIO" }
+
+// Solve implements Solver.
+func (p *Portfolio) Solve(ctx context.Context, in *model.Instance) (*model.Assignment, error) {
+	if len(p.Solvers) == 0 {
+		return nil, fmt.Errorf("assign: empty portfolio")
+	}
+	var best *model.Assignment
+	bestScore := -1.0
+	for _, s := range p.Solvers {
+		if ctx.Err() != nil {
+			break
+		}
+		a, err := s.Solve(ctx, in)
+		if err != nil {
+			return nil, fmt.Errorf("assign: portfolio member %s: %w", s.Name(), err)
+		}
+		if score := a.TotalScore(in); score > bestScore {
+			best, bestScore = a, score
+			p.Winner = s.Name()
+		}
+	}
+	if best == nil {
+		best = model.NewAssignment(in)
+		p.Winner = ""
+	}
+	return best, nil
+}

@@ -1,0 +1,89 @@
+package assign
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+)
+
+func TestPortfolioPicksBest(t *testing.T) {
+	r := rand.New(rand.NewSource(51))
+	ctx := context.Background()
+	for trial := 0; trial < 5; trial++ {
+		in := randomInstance(r, 60, 20, 3)
+		p, err := NewPortfolio([]string{"RAND", "MFLOW", "TPG", "GT"}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := p.Solve(ctx, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Validate(in); err != nil {
+			t.Fatal(err)
+		}
+		best := a.TotalScore(in)
+		for _, s := range p.Solvers {
+			b, err := s.Solve(ctx, in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b.TotalScore(in) > best+1e-9 {
+				t.Fatalf("trial %d: member %s (%v) beats portfolio (%v)",
+					trial, s.Name(), b.TotalScore(in), best)
+			}
+		}
+		if p.Winner == "" {
+			t.Fatal("no winner recorded")
+		}
+	}
+}
+
+func TestPortfolioWinnerUsuallyGT(t *testing.T) {
+	r := rand.New(rand.NewSource(52))
+	gtWins := 0
+	for trial := 0; trial < 5; trial++ {
+		in := randomInstance(r, 60, 20, 3)
+		p, _ := NewPortfolio([]string{"RAND", "GT"}, 1)
+		if _, err := p.Solve(context.Background(), in); err != nil {
+			t.Fatal(err)
+		}
+		if p.Winner == "GT" {
+			gtWins++
+		}
+	}
+	if gtWins < 4 {
+		t.Errorf("GT won only %d/5 portfolios against RAND", gtWins)
+	}
+}
+
+func TestPortfolioErrors(t *testing.T) {
+	if _, err := NewPortfolio(nil, 0); err == nil {
+		t.Error("empty portfolio accepted")
+	}
+	if _, err := NewPortfolio([]string{"NOPE"}, 0); err == nil {
+		t.Error("unknown member accepted")
+	}
+	p := &Portfolio{}
+	if _, err := p.Solve(context.Background(), nil); err == nil {
+		t.Error("solving empty portfolio succeeded")
+	}
+}
+
+func TestPortfolioCancelledContext(t *testing.T) {
+	r := rand.New(rand.NewSource(53))
+	in := randomInstance(r, 30, 10, 3)
+	p, _ := NewPortfolio([]string{"TPG", "GT"}, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	a, err := p.Solve(ctx, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == nil {
+		t.Fatal("nil assignment on cancelled context")
+	}
+	if err := a.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,62 @@
+package assign
+
+import (
+	"sort"
+
+	"casc/internal/model"
+)
+
+// Regret quantifies the paper's fairness argument for GT (§III, §V): TPG
+// "is local optimal and may be unfair for some workers as they may have
+// better choices if they are allowed to select tasks by themselves",
+// whereas a Nash equilibrium "is fair to every worker, as each single
+// worker is assigned with his/her optimal strategy upon the other workers'
+// current choices".
+//
+// A worker's regret under an assignment is the utility (Equation 5) it
+// could gain by unilaterally deviating — switching to its best alternative
+// task (with crowding, per Theorems V.3/V.4) or leaving. A pure Nash
+// equilibrium has zero regret for every worker by definition; the regret
+// profile of any other assignment measures exactly how far from "fair" it
+// is in the paper's sense.
+func Regret(in *model.Instance, a *model.Assignment) []float64 {
+	g := newCASCGame(in, a)
+	out := make([]float64, len(in.Workers))
+	for w := range out {
+		if _, gain, improving := g.BestResponse(w); improving {
+			out[w] = gain
+		}
+	}
+	return out
+}
+
+// RegretSummary aggregates a regret profile.
+type RegretSummary struct {
+	// Workers is the number of workers with strictly positive regret.
+	Workers int
+	// Max and Total are the largest and summed regrets.
+	Max, Total float64
+	// P95 is the 95th percentile over all workers (including zeros).
+	P95 float64
+}
+
+// SummarizeRegret aggregates per-worker regrets.
+func SummarizeRegret(regrets []float64) RegretSummary {
+	s := RegretSummary{}
+	sorted := append([]float64(nil), regrets...)
+	sort.Float64s(sorted)
+	for _, r := range regrets {
+		if r > 1e-12 {
+			s.Workers++
+			s.Total += r
+		}
+		if r > s.Max {
+			s.Max = r
+		}
+	}
+	if n := len(sorted); n > 0 {
+		idx := int(0.95 * float64(n-1))
+		s.P95 = sorted[idx]
+	}
+	return s
+}

@@ -1,0 +1,65 @@
+// Package assign implements every CA-SC assignment approach evaluated in
+// the paper: the task-priority greedy approach TPG (§IV, Algorithm 2), the
+// game theoretic approach GT (§V, Algorithm 3) with its LUB and TSI
+// optimizations (§V-D), the two baselines MFLOW (GeoCrowd-style maximum
+// flow [11]) and RAND, the UPPER bound estimate of Equation 9, and an exact
+// brute-force optimum for small instances (used by tests; CA-SC is NP-hard,
+// Theorem II.1).
+package assign
+
+import (
+	"context"
+	"fmt"
+
+	"casc/internal/model"
+)
+
+// Solver computes an assignment for one batch instance. Implementations
+// must return assignments that pass (*model.Assignment).Validate.
+type Solver interface {
+	// Name returns the solver's display name as used in the paper's plots
+	// (TPG, GT, GT+LUB, GT+TSI, GT+ALL, MFLOW, RAND).
+	Name() string
+	// Solve computes an assignment. The instance must have candidate sets
+	// built (model.Instance.BuildCandidates). Solve must honour ctx
+	// cancellation for long runs and still return a valid (possibly partial)
+	// assignment alongside ctx.Err() == nil results; a nil assignment is
+	// only allowed with a non-nil error.
+	Solve(ctx context.Context, in *model.Instance) (*model.Assignment, error)
+}
+
+// ByName returns the named solver with default options. Recognized names:
+// TPG, GT, GT+LUB, GT+TSI, GT+ALL, MFLOW, RAND, plus the extra WST baseline
+// (worker-selected-tasks mode, not part of the paper's figures). The seed
+// parameterizes randomized solvers (RAND); others ignore it.
+func ByName(name string, seed int64) (Solver, error) {
+	switch name {
+	case "TPG":
+		return NewTPG(), nil
+	case "GT":
+		return NewGT(GTOptions{}), nil
+	case "GT+LUB":
+		return NewGT(GTOptions{LUB: true}), nil
+	case "GT+TSI":
+		return NewGT(GTOptions{Epsilon: DefaultEpsilon}), nil
+	case "GT+ALL":
+		return NewGT(GTOptions{LUB: true, Epsilon: DefaultEpsilon}), nil
+	case "MFLOW":
+		return NewMFlow(), nil
+	case "RAND":
+		return NewRandom(seed), nil
+	case "WST":
+		return NewWST(), nil
+	default:
+		return nil, fmt.Errorf("assign: unknown solver %q", name)
+	}
+}
+
+// DefaultEpsilon is the paper's default TSI threshold (Table II, ε = 0.05).
+const DefaultEpsilon = 0.05
+
+// AllNames lists the solver names in the order the paper's figures present
+// them.
+func AllNames() []string {
+	return []string{"TPG", "GT", "GT+LUB", "GT+TSI", "GT+ALL", "MFLOW", "RAND"}
+}

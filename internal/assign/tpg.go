@@ -1,0 +1,343 @@
+package assign
+
+import (
+	"container/heap"
+	"context"
+	"sort"
+
+	"casc/internal/model"
+)
+
+// TPG is the task-priority greedy approach of §IV (Algorithm 2). Stage one
+// iteratively gives each not-yet-served task the best set of B workers and
+// commits the globally best such set, breaking ties toward the task with
+// the most remaining candidate workers; stage two keeps committing the
+// single worker-and-task pair with the largest cooperation quality increase
+// ΔQ (Equation 4) until no pair improves the objective.
+type TPG struct {
+	// SeedLimit bounds the exhaustive best-pair seeding of the B-subset
+	// search; candidate pools larger than this are truncated to the workers
+	// with the highest sampled affinity first (see DESIGN.md §4.2). Zero
+	// selects DefaultSeedLimit.
+	SeedLimit int
+}
+
+// DefaultSeedLimit is the largest candidate pool searched exhaustively for
+// the best seeding pair.
+const DefaultSeedLimit = 512
+
+// NewTPG returns a TPG solver with default options.
+func NewTPG() *TPG { return &TPG{} }
+
+// Name implements Solver.
+func (s *TPG) Name() string { return "TPG" }
+
+// Solve implements Solver.
+func (s *TPG) Solve(ctx context.Context, in *model.Instance) (*model.Assignment, error) {
+	a := model.NewAssignment(in)
+	groups := newGroups(in)
+	avail := make([]bool, len(in.Workers))
+	for i := range avail {
+		avail[i] = true
+	}
+	served := s.stageOne(ctx, in, a, groups, avail)
+	if ctx.Err() == nil {
+		s.stageTwo(ctx, in, a, groups, avail, served)
+	}
+	return a, nil
+}
+
+// newGroups allocates one GroupScore per task.
+func newGroups(in *model.Instance) []*model.GroupScore {
+	gs := make([]*model.GroupScore, len(in.Tasks))
+	for t := range in.Tasks {
+		gs[t] = in.NewGroupScore(in.Tasks[t].Capacity)
+	}
+	return gs
+}
+
+// stageOne runs Algorithm 2 lines 1-14 and returns the set of tasks that
+// received a B-worker set.
+func (s *TPG) stageOne(ctx context.Context, in *model.Instance, a *model.Assignment, groups []*model.GroupScore, avail []bool) []bool {
+	n := len(in.Tasks)
+	served := make([]bool, n)
+	remaining := make([]bool, n)
+	for t := range remaining {
+		remaining[t] = true
+	}
+	bestSet := make([][]int, n)
+	bestScore := make([]float64, n)
+	dirty := make([]bool, n)
+	for t := range dirty {
+		dirty[t] = true
+	}
+
+	for {
+		if ctx.Err() != nil {
+			return served
+		}
+		// Refresh dirty tasks and find the global best B-set (lines 3-5).
+		bestTask := -1
+		for t := 0; t < n; t++ {
+			if !remaining[t] {
+				continue
+			}
+			if dirty[t] {
+				bestSet[t], bestScore[t] = s.bestBSubset(in, t, avail)
+				dirty[t] = false
+			}
+			if bestSet[t] == nil {
+				continue
+			}
+			if bestTask < 0 || bestScore[t] > bestScore[bestTask] {
+				bestTask = t
+			}
+		}
+		if bestTask < 0 {
+			break // no remaining task can be served with B workers
+		}
+		// Tie-break (lines 6-9): among tasks whose best set is the same
+		// worker set with the same score, prefer the task with the most
+		// remaining candidate workers.
+		winner := bestTask
+		winnerCands := availableCands(in, bestTask, avail)
+		for t := 0; t < n; t++ {
+			if t == bestTask || !remaining[t] || bestSet[t] == nil {
+				continue
+			}
+			if bestScore[t] == bestScore[bestTask] && sameSet(bestSet[t], bestSet[bestTask]) {
+				if c := availableCands(in, t, avail); c > winnerCands {
+					winner, winnerCands = t, c
+				}
+			}
+		}
+		// Commit (lines 10-13). Removing a worker from the pool only changes
+		// another task's cached best B-set when that worker is IN the cached
+		// set: the greedy construction's comparisons never involve
+		// non-selected candidates, so shrinking the pool by one of them
+		// leaves the greedy trace intact. Marking only those tasks dirty
+		// cuts stage-one recomputation by roughly cands/B.
+		for _, w := range bestSet[winner] {
+			a.Assign(w, winner)
+			groups[winner].Join(w)
+			avail[w] = false
+			for _, t := range in.WorkerCand[w] {
+				if dirty[t] || !remaining[t] {
+					continue
+				}
+				for _, m := range bestSet[t] {
+					if m == w {
+						dirty[t] = true
+						break
+					}
+				}
+			}
+		}
+		remaining[winner] = false
+		served[winner] = true
+	}
+	return served
+}
+
+// availableCands counts the still-available candidate workers of task t.
+func availableCands(in *model.Instance, t int, avail []bool) int {
+	c := 0
+	for _, w := range in.TaskCand[t] {
+		if avail[w] {
+			c++
+		}
+	}
+	return c
+}
+
+// sameSet reports whether two B-sets contain the same workers. Sets are
+// small (B is 3 in all experiments), so sorting copies is cheap.
+func sameSet(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]int(nil), a...)
+	bs := append([]int(nil), b...)
+	sort.Ints(as)
+	sort.Ints(bs)
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// bestBSubset greedily builds the B-worker set with the highest cooperation
+// quality for task t from the available candidates. It returns (nil, 0)
+// when fewer than B candidates are available. The greedy: seed with the
+// best available pair (exhaustive up to SeedLimit candidates), then add the
+// worker with the maximum marginal pair-sum gain until B workers are
+// chosen. Finding the true optimum is NP-hard (max-weight k-induced
+// subgraph, §V-C), so a heuristic here matches both the paper's complexity
+// budget (O(m̄) per task and iteration) and its spirit.
+func (s *TPG) bestBSubset(in *model.Instance, t int, avail []bool) ([]int, float64) {
+	limit := s.SeedLimit
+	if limit <= 0 {
+		limit = DefaultSeedLimit
+	}
+	cands := make([]int, 0, len(in.TaskCand[t]))
+	for _, w := range in.TaskCand[t] {
+		if avail[w] {
+			cands = append(cands, w)
+		}
+	}
+	B := in.B
+	if len(cands) < B {
+		return nil, 0
+	}
+	if len(cands) > limit {
+		cands = truncateByAffinity(in, cands, limit)
+	}
+	// Seed: best ordered-pair sum.
+	q := in.Quality
+	bi, bk, bSum := -1, -1, -1.0
+	for x := 0; x < len(cands); x++ {
+		for y := x + 1; y < len(cands); y++ {
+			sum := q.Quality(cands[x], cands[y]) + q.Quality(cands[y], cands[x])
+			if sum > bSum {
+				bi, bk, bSum = x, y, sum
+			}
+		}
+	}
+	chosen := []int{cands[bi], cands[bk]}
+	inChosen := map[int]bool{cands[bi]: true, cands[bk]: true}
+	pairSum := bSum
+	for len(chosen) < B {
+		bestW, bestGain := -1, -1.0
+		for _, w := range cands {
+			if inChosen[w] {
+				continue
+			}
+			gain := 0.0
+			for _, m := range chosen {
+				gain += q.Quality(w, m) + q.Quality(m, w)
+			}
+			if gain > bestGain {
+				bestW, bestGain = w, gain
+			}
+		}
+		if bestW < 0 {
+			return nil, 0 // cannot happen: len(cands) >= B
+		}
+		chosen = append(chosen, bestW)
+		inChosen[bestW] = true
+		pairSum += bestGain
+	}
+	denom := B
+	if cap := in.Tasks[t].Capacity; cap < denom {
+		denom = cap
+	}
+	if denom < 2 {
+		return nil, 0
+	}
+	return chosen, pairSum / float64(denom-1)
+}
+
+// truncateByAffinity keeps the limit candidates with the highest total
+// affinity to a fixed sample of the pool, a cheap proxy for q̂ when the
+// pool is too large for exhaustive pair seeding.
+func truncateByAffinity(in *model.Instance, cands []int, limit int) []int {
+	const sample = 32
+	step := len(cands) / sample
+	if step < 1 {
+		step = 1
+	}
+	type scored struct {
+		w int
+		s float64
+	}
+	scoredCands := make([]scored, len(cands))
+	for i, w := range cands {
+		var sum float64
+		for j := 0; j < len(cands); j += step {
+			o := cands[j]
+			if o != w {
+				sum += in.Quality.Quality(w, o)
+			}
+		}
+		scoredCands[i] = scored{w: w, s: sum}
+	}
+	sort.Slice(scoredCands, func(i, j int) bool { return scoredCands[i].s > scoredCands[j].s })
+	out := make([]int, limit)
+	for i := range out {
+		out[i] = scoredCands[i].w
+	}
+	return out
+}
+
+// pairEntry is a lazily evaluated stage-two heap element.
+type pairEntry struct {
+	delta   float64
+	worker  int
+	task    int
+	version int // task membership version the delta was computed at
+}
+
+type pairHeap []pairEntry
+
+func (h pairHeap) Len() int            { return len(h) }
+func (h pairHeap) Less(i, j int) bool  { return h[i].delta > h[j].delta }
+func (h pairHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *pairHeap) Push(x interface{}) { *h = append(*h, x.(pairEntry)) }
+func (h *pairHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// stageTwo runs Algorithm 2 lines 15-20: it repeatedly commits the
+// available worker-and-task pair with the highest ΔQ (Equation 4) over the
+// tasks served in stage one, until tasks are full, workers are exhausted,
+// or no pair increases the objective. A lazy max-heap with per-task version
+// stamps keeps each selection near O(log |pairs|).
+func (s *TPG) stageTwo(ctx context.Context, in *model.Instance, a *model.Assignment, groups []*model.GroupScore, avail []bool, served []bool) {
+	version := make([]int, len(in.Tasks))
+	h := &pairHeap{}
+	for t := range in.Tasks {
+		if !served[t] || groups[t].Len() >= groups[t].Capacity() {
+			continue
+		}
+		for _, w := range in.TaskCand[t] {
+			if avail[w] {
+				heap.Push(h, pairEntry{delta: groups[t].JoinDelta(w), worker: w, task: t, version: version[t]})
+			}
+		}
+	}
+	for h.Len() > 0 {
+		if ctx.Err() != nil {
+			return
+		}
+		e := heap.Pop(h).(pairEntry)
+		if !avail[e.worker] {
+			continue
+		}
+		g := groups[e.task]
+		if g.Len() >= g.Capacity() {
+			continue
+		}
+		if e.version != version[e.task] {
+			// Stale delta: re-evaluate and reinsert.
+			e.delta = g.JoinDelta(e.worker)
+			e.version = version[e.task]
+			heap.Push(h, e)
+			continue
+		}
+		if e.delta <= 0 {
+			// The best remaining pair no longer increases Q(T); assigning it
+			// (or anything below it) would only lower the objective.
+			return
+		}
+		a.Assign(e.worker, e.task)
+		g.Join(e.worker)
+		avail[e.worker] = false
+		version[e.task]++
+	}
+}

@@ -1,0 +1,162 @@
+package assign
+
+import (
+	"sort"
+
+	"casc/internal/model"
+)
+
+// Upper computes the UPPER estimate of the paper's experiments: the bound
+// on the total cooperation quality revenue from Equation 9,
+//
+//	Q̂(ϕ) = min( Σ_j Q̂_tj , Σ_i q̂_{i,B} )
+//
+// where q̂_{i,B} (Lemma V.2) is worker i's largest possible average quality
+// in any group of ≥ B workers — the mean of their B−1 highest pairwise
+// qualities — and Q̂_tj (Equation 8) sums the a_j highest q̂ values among
+// the task's candidate workers.
+//
+// Two refinements keep the bound valid while tightening it: q̂_{i,B} is
+// computed over workers that share at least one candidate task with i
+// (any feasible group containing i consists of such workers), and tasks
+// with fewer than B candidates contribute zero (they can never be served).
+func Upper(in *model.Instance) float64 {
+	nW := len(in.Workers)
+	B := in.B
+	if B < 2 {
+		return 0
+	}
+	qhat := make([]float64, nW)
+	coworkers := coCandidateSets(in)
+	topQ := make([]float64, 0, 64)
+	for w := 0; w < nW; w++ {
+		peers := coworkers[w]
+		if len(peers) < B-1 {
+			continue // cannot be in any feasible group
+		}
+		topQ = topQ[:0]
+		for _, k := range peers {
+			topQ = append(topQ, in.Quality.Quality(w, k))
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(topQ)))
+		var sum float64
+		for i := 0; i < B-1; i++ {
+			sum += topQ[i]
+		}
+		qhat[w] = sum / float64(B-1)
+	}
+
+	// Task side (Equation 8): Q̂_tj = Σ of the top-a_j q̂ values among the
+	// task's candidates. The paper's Q(W_j) sums each member's average
+	// quality twice (ordered pairs), i.e. Q(W_j) = Σ_{i∈W_j} q_i(W_j) with
+	// q_i(W_j) ≤ q̂_i for symmetric models counted per direction; summing
+	// q̂ over members bounds Σ_i q_i(W_j) because Lemma V.2 bounds each
+	// term. Ordered-pair sums are already folded into q̂ via Quality being
+	// symmetric in all paper models.
+	var taskSide float64
+	var cq []float64
+	for t := range in.Tasks {
+		cand := in.TaskCand[t]
+		if len(cand) < B {
+			continue
+		}
+		cq = cq[:0]
+		for _, w := range cand {
+			cq = append(cq, qhat[w])
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(cq)))
+		take := in.Tasks[t].Capacity
+		if take > len(cq) {
+			take = len(cq)
+		}
+		for i := 0; i < take; i++ {
+			taskSide += cq[i]
+		}
+	}
+
+	var workerSide float64
+	for _, q := range qhat {
+		workerSide += q
+	}
+	if workerSide < taskSide {
+		return workerSide
+	}
+	return taskSide
+}
+
+// UpperTight is a strictly tighter (but costlier) variant of Upper: the
+// per-task bound Q̂_tj evaluates each candidate worker's q̂ *within that
+// task's own candidate set* — any feasible group at t_j consists solely of
+// t_j's candidates, so restricting the top-(B−1) average to them remains a
+// valid upper bound on q_i(W_j) (the Lemma V.2 argument applied per task).
+// The worker-side term is unchanged. UpperTight ≤ Upper always; the gap
+// measures how much of UPPER's looseness comes from workers "borrowing"
+// good partners they could never actually share a task with.
+func UpperTight(in *model.Instance) float64 {
+	B := in.B
+	if B < 2 {
+		return 0
+	}
+	var taskSide float64
+	qs := make([]float64, 0, 64)
+	qhatLocal := make([]float64, 0, 64)
+	for t := range in.Tasks {
+		cand := in.TaskCand[t]
+		if len(cand) < B {
+			continue
+		}
+		qhatLocal = qhatLocal[:0]
+		for _, w := range cand {
+			qs = qs[:0]
+			for _, k := range cand {
+				if k != w {
+					qs = append(qs, in.Quality.Quality(w, k))
+				}
+			}
+			sort.Sort(sort.Reverse(sort.Float64Slice(qs)))
+			var sum float64
+			for i := 0; i < B-1; i++ {
+				sum += qs[i]
+			}
+			qhatLocal = append(qhatLocal, sum/float64(B-1))
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(qhatLocal)))
+		take := in.Tasks[t].Capacity
+		if take > len(qhatLocal) {
+			take = len(qhatLocal)
+		}
+		for i := 0; i < take; i++ {
+			taskSide += qhatLocal[i]
+		}
+	}
+	global := Upper(in)
+	if taskSide < global {
+		return taskSide
+	}
+	return global
+}
+
+// coCandidateSets returns, per worker, the sorted distinct workers sharing
+// at least one candidate task with it.
+func coCandidateSets(in *model.Instance) [][]int {
+	nW := len(in.Workers)
+	out := make([][]int, nW)
+	seen := make([]int, nW) // visit stamp per (worker, stamp) pair
+	for i := range seen {
+		seen[i] = -1
+	}
+	for w := 0; w < nW; w++ {
+		var peers []int
+		for _, t := range in.WorkerCand[w] {
+			for _, k := range in.TaskCand[t] {
+				if k != w && seen[k] != w {
+					seen[k] = w
+					peers = append(peers, k)
+				}
+			}
+		}
+		sort.Ints(peers)
+		out[w] = peers
+	}
+	return out
+}

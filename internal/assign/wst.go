@@ -1,0 +1,68 @@
+package assign
+
+import (
+	"context"
+
+	"casc/internal/model"
+)
+
+// WST is the worker-selected-tasks publishing mode discussed in the paper's
+// related work (§VII, after [8]): instead of the server optimizing the
+// assignment, each worker autonomously picks the valid task that maximizes
+// their own cooperation utility given the choices made so far, in a single
+// pass and in arrival order. It is exactly one round of best-response
+// dynamics from the empty assignment — GT without iteration — which makes
+// it the natural ablation between RAND and GT: self-interested but
+// uncoordinated.
+type WST struct{}
+
+// NewWST returns the worker-selected-tasks baseline.
+func NewWST() *WST { return &WST{} }
+
+// Name implements Solver.
+func (s *WST) Name() string { return "WST" }
+
+// Solve implements Solver.
+func (s *WST) Solve(ctx context.Context, in *model.Instance) (*model.Assignment, error) {
+	groups := newGroups(in)
+	a := model.NewAssignment(in)
+	for w := range in.Workers {
+		if ctx.Err() != nil {
+			return a, nil
+		}
+		bestT, bestGain := -1, 0.0
+		for _, t := range in.WorkerCand[w] {
+			g := groups[t]
+			if g.Len() >= g.Capacity() {
+				continue
+			}
+			if gain := g.JoinDelta(w); gain > bestGain {
+				bestT, bestGain = t, gain
+			}
+		}
+		if bestT >= 0 {
+			groups[bestT].Join(w)
+			a.Assign(w, bestT)
+			continue
+		}
+		// No positive-gain task: a self-interested worker still joins the
+		// task where they'd contribute most once the group reaches B (zero
+		// utility now, potential reputation later). Pick the valid task with
+		// the largest group so groups actually form.
+		bestT, bestLen := -1, -1
+		for _, t := range in.WorkerCand[w] {
+			g := groups[t]
+			if g.Len() >= g.Capacity() {
+				continue
+			}
+			if g.Len() > bestLen {
+				bestT, bestLen = t, g.Len()
+			}
+		}
+		if bestT >= 0 {
+			groups[bestT].Join(w)
+			a.Assign(w, bestT)
+		}
+	}
+	return a, nil
+}

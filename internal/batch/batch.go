@@ -1,0 +1,391 @@
+// Package batch implements the batch-based framework of §III (Algorithm 1):
+// over a time interval Φ the platform periodically gathers the available
+// spatial tasks and cooperation-aware workers, retrieves each worker's
+// valid tasks through the spatial index, delegates the batch to a solver
+// (TPG, GT, ...), and dispatches the resulting worker-and-task pairs.
+//
+// The simulator tracks worker availability across batches: workers
+// committed to a task travel to it, perform it for its service duration,
+// and rejoin the pool at the task's location. Tasks that fail to attract at
+// least B workers stay available until their deadlines pass; tasks assigned
+// fewer than B workers in a batch are not dispatched (their revenue would
+// be zero), so those workers also stay available — matching the paper's
+// retry semantics for "tasks that are not assigned with enough workers
+// during the last batch".
+package batch
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"casc/internal/assign"
+	"casc/internal/coop"
+	"casc/internal/model"
+	"casc/internal/trace"
+)
+
+// Source feeds workers and tasks into the simulation. Rounds are numbered
+// from 0; round r starts at time Config.Interval * r.
+type Source interface {
+	// WorkersAt returns the workers that newly arrive at round r. Worker IDs
+	// must be globally unique and index into Quality().
+	WorkersAt(round int) []model.Worker
+	// TasksAt returns the tasks that are newly created at round r.
+	TasksAt(round int) []model.Task
+	// Quality is the global cooperation model, indexed by worker ID.
+	Quality() model.QualityModel
+}
+
+// Config drives a simulation.
+type Config struct {
+	// Solver performs each batch assignment.
+	Solver assign.Solver
+	// Rounds is the number of batches (the paper's R; Table II uses 10).
+	Rounds int
+	// Interval is the wall-clock length of one batch (default 1.0).
+	Interval float64
+	// B is the least required number of workers per task.
+	B int
+	// ServiceDuration is how long a dispatched task takes once all its
+	// workers arrive (default 1.0).
+	ServiceDuration float64
+	// Index selects the spatial index (default R-tree).
+	Index model.IndexKind
+	// Patience, when positive, makes workers leave the platform after
+	// sitting unassigned for that many consecutive batches — real platforms
+	// lose idle workers. Zero means workers wait forever (the paper's
+	// implicit assumption).
+	Patience int
+	// Trace, when non-nil, receives one record per batch (the dispatched
+	// pairs carry external worker/task IDs).
+	Trace *trace.Writer
+	// TraceRun names the run in trace records (default: the solver name).
+	TraceRun string
+}
+
+// BatchStats records one batch of the simulation.
+type BatchStats struct {
+	Round            int
+	Time             float64
+	AvailableWorkers int
+	AvailableTasks   int
+	ValidPairs       int
+	AssignedWorkers  int
+	DispatchedTasks  int
+	Score            float64
+	Elapsed          time.Duration
+}
+
+// Result aggregates a simulation.
+type Result struct {
+	Batches         []BatchStats
+	TotalScore      float64
+	DispatchedTasks int
+	ExpiredTasks    int
+	// UpperTotal sums the per-batch UPPER estimates (Equation 9).
+	UpperTotal float64
+	// TaskWaitTotal sums, over dispatched tasks, the time between creation
+	// and the batch that dispatched them.
+	TaskWaitTotal float64
+	// DepartedWorkers counts workers who ran out of patience.
+	DepartedWorkers int
+}
+
+// TaskWaitMean returns the mean wait (creation → dispatching batch) of the
+// dispatched tasks, or 0 when none dispatched. Tasks dispatched in their
+// creation round wait 0.
+func (r *Result) TaskWaitMean() float64 {
+	if r.DispatchedTasks == 0 {
+		return 0
+	}
+	return r.TaskWaitTotal / float64(r.DispatchedTasks)
+}
+
+// WorkerUtilization returns the fraction of available worker-batches that
+// ended up assigned: Σ assigned / Σ available over all batches.
+func (r *Result) WorkerUtilization() float64 {
+	assigned, avail := 0, 0
+	for _, b := range r.Batches {
+		assigned += b.AssignedWorkers
+		avail += b.AvailableWorkers
+	}
+	if avail == 0 {
+		return 0
+	}
+	return float64(assigned) / float64(avail)
+}
+
+// DispatchRate returns the fraction of concluded tasks (dispatched or
+// expired) that were dispatched.
+func (r *Result) DispatchRate() float64 {
+	total := r.DispatchedTasks + r.ExpiredTasks
+	if total == 0 {
+		return 0
+	}
+	return float64(r.DispatchedTasks) / float64(total)
+}
+
+// pendingTask is a task waiting for assignment.
+type pendingTask struct {
+	task model.Task
+}
+
+// busyWorker is a worker performing a task.
+type busyWorker struct {
+	worker  model.Worker
+	freeAt  float64
+	locWhen model.Task // task whose location the worker ends at
+}
+
+// Run simulates Algorithm 1 for cfg.Rounds batches.
+func Run(ctx context.Context, cfg Config, src Source) (*Result, error) {
+	if cfg.Solver == nil {
+		return nil, fmt.Errorf("batch: nil solver")
+	}
+	if cfg.Rounds <= 0 {
+		return nil, fmt.Errorf("batch: rounds = %d", cfg.Rounds)
+	}
+	if cfg.B < 2 {
+		return nil, fmt.Errorf("batch: B = %d, want ≥ 2", cfg.B)
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 1
+	}
+	if cfg.ServiceDuration <= 0 {
+		cfg.ServiceDuration = 1
+	}
+	quality := src.Quality()
+
+	var (
+		pool    []model.Worker // available workers
+		idleFor []int          // consecutive unassigned batches per pool entry
+		pending []pendingTask  // available tasks
+		busy    []busyWorker
+		res     = &Result{}
+	)
+
+	for round := 0; round < cfg.Rounds; round++ {
+		if ctx.Err() != nil {
+			return res, ctx.Err()
+		}
+		now := float64(round) * cfg.Interval
+
+		// Release workers whose tasks finished (Algorithm 1: "workers that
+		// have finished the previous assigned tasks").
+		stillBusy := busy[:0]
+		for _, b := range busy {
+			if b.freeAt <= now {
+				w := b.worker
+				w.Loc = b.locWhen.Loc
+				w.Arrive = b.freeAt
+				pool = append(pool, w)
+				idleFor = append(idleFor, 0)
+			} else {
+				stillBusy = append(stillBusy, b)
+			}
+		}
+		busy = stillBusy
+
+		// Drop expired tasks, admit arrivals.
+		livePending := pending[:0]
+		for _, p := range pending {
+			if p.task.Deadline > now {
+				livePending = append(livePending, p)
+			} else {
+				res.ExpiredTasks++
+			}
+		}
+		pending = livePending
+		for _, w := range src.WorkersAt(round) {
+			pool = append(pool, w)
+			idleFor = append(idleFor, 0)
+		}
+		for _, t := range src.TasksAt(round) {
+			if t.Capacity < cfg.B {
+				return nil, fmt.Errorf("batch: task %d capacity %d below B=%d", t.ID, t.Capacity, cfg.B)
+			}
+			pending = append(pending, pendingTask{task: t})
+		}
+
+		// Build the batch instance (Algorithm 1 lines 2-5).
+		ids := make([]int, len(pool))
+		in := &model.Instance{B: cfg.B, Now: now}
+		for i, w := range pool {
+			ids[i] = w.ID
+			in.Workers = append(in.Workers, w)
+		}
+		for _, p := range pending {
+			in.Tasks = append(in.Tasks, p.task)
+		}
+		in.Quality = coop.NewSubset(asCoopModel(quality), ids)
+		in.BuildCandidates(cfg.Index)
+
+		// Solve the batch (line 6).
+		start := time.Now()
+		a, err := cfg.Solver.Solve(ctx, in)
+		elapsed := time.Since(start)
+		if err != nil {
+			return res, fmt.Errorf("batch: round %d: %w", round, err)
+		}
+		if err := a.Validate(in); err != nil {
+			return res, fmt.Errorf("batch: round %d solver produced invalid assignment: %w", round, err)
+		}
+
+		// Dispatch (lines 7-8): only groups reaching B perform the task.
+		bs := BatchStats{
+			Round:            round,
+			Time:             now,
+			AvailableWorkers: len(pool),
+			AvailableTasks:   len(pending),
+			ValidPairs:       in.NumValidPairs(),
+			Elapsed:          elapsed,
+		}
+		dispatchedWorker := make([]bool, len(pool))
+		dispatchedTask := make([]bool, len(pending))
+		for ti, ws := range a.TaskWorkers {
+			if len(ws) < cfg.B {
+				continue
+			}
+			task := in.Tasks[ti]
+			// All workers must arrive before cooperation starts.
+			arrival := now
+			for _, wi := range ws {
+				t := now + in.Workers[wi].Loc.Dist(task.Loc)/maxf(in.Workers[wi].Speed, 1e-9)
+				if t > arrival {
+					arrival = t
+				}
+			}
+			freeAt := arrival + cfg.ServiceDuration
+			for _, wi := range ws {
+				dispatchedWorker[wi] = true
+				busy = append(busy, busyWorker{worker: pool[wi], freeAt: freeAt, locWhen: task})
+			}
+			dispatchedTask[ti] = true
+			bs.DispatchedTasks++
+			bs.AssignedWorkers += len(ws)
+			bs.Score += in.GroupQuality(ws, task.Capacity)
+			res.TaskWaitTotal += now - task.Created
+		}
+		batchUpper := assign.Upper(in)
+		res.UpperTotal += batchUpper
+
+		// Rebuild the pool and pending lists; undispatched workers lose
+		// patience and may depart.
+		var nextPool []model.Worker
+		var nextIdle []int
+		for i, w := range pool {
+			if dispatchedWorker[i] {
+				continue
+			}
+			idle := idleFor[i] + 1
+			if cfg.Patience > 0 && idle >= cfg.Patience {
+				res.DepartedWorkers++
+				continue
+			}
+			nextPool = append(nextPool, w)
+			nextIdle = append(nextIdle, idle)
+		}
+		pool = nextPool
+		idleFor = nextIdle
+		var nextPending []pendingTask
+		for i, p := range pending {
+			if !dispatchedTask[i] {
+				nextPending = append(nextPending, p)
+			}
+		}
+		pending = nextPending
+
+		res.Batches = append(res.Batches, bs)
+		res.TotalScore += bs.Score
+		res.DispatchedTasks += bs.DispatchedTasks
+
+		if cfg.Trace != nil {
+			runName := cfg.TraceRun
+			if runName == "" {
+				runName = cfg.Solver.Name()
+			}
+			rec := trace.Record{
+				Run:       runName,
+				Round:     round,
+				Time:      now,
+				Solver:    cfg.Solver.Name(),
+				Workers:   bs.AvailableWorkers,
+				Tasks:     bs.AvailableTasks,
+				Score:     bs.Score,
+				Upper:     batchUpper,
+				ElapsedMS: float64(elapsed.Microseconds()) / 1000,
+			}
+			for ti, ws := range a.TaskWorkers {
+				if len(ws) < cfg.B {
+					continue
+				}
+				for _, wi := range ws {
+					rec.Pairs = append(rec.Pairs, model.Pair{
+						Worker: in.Workers[wi].ID,
+						Task:   in.Tasks[ti].ID,
+					})
+				}
+			}
+			if err := cfg.Trace.Append(rec); err != nil {
+				return res, err
+			}
+		}
+	}
+	return res, nil
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// asCoopModel adapts model.QualityModel to coop.Model (identical method
+// sets; the indirection exists only because model must not import coop).
+func asCoopModel(q model.QualityModel) coop.Model { return coopAdapter{q} }
+
+type coopAdapter struct{ q model.QualityModel }
+
+func (c coopAdapter) Quality(i, k int) float64 { return c.q.Quality(i, k) }
+func (c coopAdapter) NumWorkers() int          { return c.q.NumWorkers() }
+
+// GeneratorSource adapts per-round generator functions to Source.
+type GeneratorSource struct {
+	WorkersFn func(round int) []model.Worker
+	TasksFn   func(round int) []model.Task
+	Model     model.QualityModel
+}
+
+// WorkersAt implements Source.
+func (g *GeneratorSource) WorkersAt(round int) []model.Worker {
+	if g.WorkersFn == nil {
+		return nil
+	}
+	return g.WorkersFn(round)
+}
+
+// TasksAt implements Source.
+func (g *GeneratorSource) TasksAt(round int) []model.Task {
+	if g.TasksFn == nil {
+		return nil
+	}
+	return g.TasksFn(round)
+}
+
+// Quality implements Source.
+func (g *GeneratorSource) Quality() model.QualityModel { return g.Model }
+
+// RoundRobinIDs renumbers worker IDs across rounds so they stay unique and
+// within the quality model's range: round r worker i gets ID
+// (r*perRound + i) mod modelSize. Helper for synthetic sources whose
+// quality model is defined over a fixed universe.
+func RoundRobinIDs(ws []model.Worker, round, perRound, modelSize int) []model.Worker {
+	out := make([]model.Worker, len(ws))
+	for i, w := range ws {
+		w.ID = (round*perRound + i) % modelSize
+		out[i] = w
+	}
+	return out
+}

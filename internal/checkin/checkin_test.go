@@ -1,0 +1,189 @@
+package checkin
+
+import (
+	"context"
+	"sort"
+	"testing"
+
+	"casc/internal/assign"
+	"casc/internal/stats"
+)
+
+func smallConfig() Config {
+	return Config{
+		NumUsers:       300,
+		NumVenues:      80,
+		VisitsPerUser:  15,
+		RevisitBias:    0.6,
+		Neighbourhoods: 4,
+		Seed:           5,
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	tr := Generate(smallConfig())
+	if tr.NumUsers() != 300 || tr.NumVenues() != 80 {
+		t.Fatalf("shape: %d users, %d venues", tr.NumUsers(), tr.NumVenues())
+	}
+	if len(tr.Visits) == 0 {
+		t.Fatal("no visits generated")
+	}
+	lastT := -1.0
+	for _, v := range tr.Visits {
+		if v.User < 0 || v.User >= 300 || v.Venue < 0 || v.Venue >= 80 {
+			t.Fatalf("visit out of range: %+v", v)
+		}
+		if v.Time < lastT {
+			t.Fatal("visits not sorted by time")
+		}
+		lastT = v.Time
+	}
+	for _, loc := range tr.VenueLocs {
+		if loc.X < 0 || loc.X > 1 || loc.Y < 0 || loc.Y > 1 {
+			t.Fatalf("venue outside unit square: %v", loc)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, b := Generate(smallConfig()), Generate(smallConfig())
+	if len(a.Visits) != len(b.Visits) {
+		t.Fatal("same seed, different visit counts")
+	}
+	for i := range a.Visits {
+		if a.Visits[i] != b.Visits[i] {
+			t.Fatal("same seed, different visits")
+		}
+	}
+}
+
+func TestGeneratePanics(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"no users":   {NumVenues: 1, VisitsPerUser: 1},
+		"badeplore":  {NumUsers: 1, NumVenues: 1, VisitsPerUser: 1, RevisitBias: 1.0},
+		"no_centers": {NumUsers: 1, NumVenues: 0, VisitsPerUser: 1},
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			Generate(cfg)
+		})
+	}
+}
+
+func TestVenuePopularityIsHeavyTailed(t *testing.T) {
+	tr := Generate(smallConfig())
+	pops := append([]int(nil), tr.venuePopularity...)
+	sort.Sort(sort.Reverse(sort.IntSlice(pops)))
+	total := 0
+	for _, p := range pops {
+		total += p
+	}
+	top10 := 0
+	for _, p := range pops[:8] { // top 10% of 80 venues
+		top10 += p
+	}
+	if frac := float64(top10) / float64(total); frac < 0.2 {
+		t.Errorf("top-10%% venues hold only %.2f of visits; tail not heavy", frac)
+	}
+}
+
+func TestRevisitBiasConcentratesUsers(t *testing.T) {
+	// With strong revisit bias a user's visits concentrate on few venues.
+	biased := Generate(Config{NumUsers: 200, NumVenues: 80, VisitsPerUser: 20,
+		RevisitBias: 0.8, Neighbourhoods: 4, Seed: 9})
+	explore := Generate(Config{NumUsers: 200, NumVenues: 80, VisitsPerUser: 20,
+		RevisitBias: 0.0, Neighbourhoods: 4, Seed: 9})
+	distinct := func(tr *Trace) float64 {
+		var sum, visits float64
+		for u := 0; u < tr.NumUsers(); u++ {
+			sum += float64(len(tr.userVenueCounts[u]))
+			for _, c := range tr.userVenueCounts[u] {
+				visits += float64(c)
+			}
+		}
+		return sum / visits // distinct venues per visit
+	}
+	if distinct(biased) >= distinct(explore) {
+		t.Errorf("revisit bias did not concentrate visits: %.3f vs %.3f",
+			distinct(biased), distinct(explore))
+	}
+}
+
+func TestQualityProperties(t *testing.T) {
+	tr := Generate(smallConfig())
+	q := tr.Quality()
+	if q.NumWorkers() != 300 {
+		t.Fatalf("quality covers %d", q.NumWorkers())
+	}
+	var hi float64
+	for i := 0; i < 80; i++ {
+		for k := i + 1; k < 80; k++ {
+			v := q.Quality(i, k)
+			if v < 0.25-1e-12 || v > 0.75+1e-12 {
+				t.Fatalf("quality(%d,%d)=%v outside [0.25,0.75]", i, k, v)
+			}
+			if v != q.Quality(k, i) {
+				t.Fatalf("asymmetric at (%d,%d)", i, k)
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if hi <= 0.25 {
+		t.Error("no co-visiting pairs found; generator broken")
+	}
+	if q.Quality(3, 3) != 0 {
+		t.Error("diagonal nonzero")
+	}
+}
+
+func TestSampleSolvable(t *testing.T) {
+	tr := Generate(smallConfig())
+	r := stats.NewRNG(2)
+	p := DefaultSample()
+	p.NumWorkers, p.NumTasks = 150, 60
+	in, err := tr.Sample(r, p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if in.NumValidPairs() == 0 {
+		t.Fatal("no valid pairs in check-in sample")
+	}
+	a, err := assign.NewGT(assign.GTOptions{}).Solve(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalScore(in) <= 0 {
+		t.Error("GT scored zero on check-in sample")
+	}
+	if ub := assign.Upper(in); a.TotalScore(in) > ub+1e-9 {
+		t.Error("score above UPPER")
+	}
+}
+
+func TestSampleErrors(t *testing.T) {
+	tr := Generate(smallConfig())
+	r := stats.NewRNG(3)
+	p := DefaultSample()
+	p.NumWorkers = 100000
+	if _, err := tr.Sample(r, p, 0); err == nil {
+		t.Error("oversample accepted")
+	}
+	p = DefaultSample()
+	p.NumWorkers, p.NumTasks = 50, 20
+	p.B = 1
+	if _, err := tr.Sample(r, p, 0); err == nil {
+		t.Error("B=1 accepted")
+	}
+}

@@ -1,0 +1,33 @@
+package coop
+
+// Subset restricts a quality model to a subset of workers re-indexed
+// densely: local index i maps to global worker IDs[i]. The batch framework
+// uses it to hand each round's sampled workers to the solvers without
+// copying the underlying model.
+type Subset struct {
+	Base Model
+	IDs  []int
+}
+
+// NewSubset returns a Subset view. It panics if any ID is out of the base
+// model's range.
+func NewSubset(base Model, ids []int) *Subset {
+	n := base.NumWorkers()
+	for _, id := range ids {
+		if id < 0 || id >= n {
+			panic("coop: subset ID out of range")
+		}
+	}
+	return &Subset{Base: base, IDs: ids}
+}
+
+// Quality implements Model.
+func (s *Subset) Quality(i, k int) float64 {
+	if i == k {
+		return 0
+	}
+	return s.Base.Quality(s.IDs[i], s.IDs[k])
+}
+
+// NumWorkers implements Model.
+func (s *Subset) NumWorkers() int { return len(s.IDs) }

@@ -1,0 +1,165 @@
+// Package dataset serializes CA-SC instances and generated cities to JSON
+// so the command-line tools can generate once and re-run many experiments
+// against identical data.
+package dataset
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"casc/internal/coop"
+	"casc/internal/geo"
+	"casc/internal/model"
+)
+
+// Worker is the wire form of model.Worker.
+type Worker struct {
+	ID     int     `json:"id"`
+	X      float64 `json:"x"`
+	Y      float64 `json:"y"`
+	Speed  float64 `json:"speed"`
+	Radius float64 `json:"radius"`
+	Arrive float64 `json:"arrive"`
+}
+
+// Task is the wire form of model.Task.
+type Task struct {
+	ID       int     `json:"id"`
+	X        float64 `json:"x"`
+	Y        float64 `json:"y"`
+	Capacity int     `json:"capacity"`
+	Created  float64 `json:"created"`
+	Deadline float64 `json:"deadline"`
+}
+
+// Instance is the wire form of a full CA-SC batch. Pairwise qualities are
+// stored either as explicit group memberships (compact; the Jaccard model
+// reconstructs q on the fly) or as a dense matrix for small instances.
+type Instance struct {
+	B       int         `json:"b"`
+	Now     float64     `json:"now"`
+	Workers []Worker    `json:"workers"`
+	Tasks   []Task      `json:"tasks"`
+	Groups  [][]int     `json:"groups,omitempty"`  // per-worker sorted group IDs
+	Quality [][]float64 `json:"quality,omitempty"` // dense row-major matrix
+}
+
+// FromModel converts a model.Instance. Exactly one of groups/matrix must be
+// derivable: pass the per-worker group lists when the instance uses a
+// Jaccard model, or nil to snapshot a dense matrix (only sensible for small
+// instances).
+func FromModel(in *model.Instance, groups [][]int) *Instance {
+	out := &Instance{B: in.B, Now: in.Now}
+	for _, w := range in.Workers {
+		out.Workers = append(out.Workers, Worker{
+			ID: w.ID, X: w.Loc.X, Y: w.Loc.Y, Speed: w.Speed, Radius: w.Radius, Arrive: w.Arrive,
+		})
+	}
+	for _, t := range in.Tasks {
+		out.Tasks = append(out.Tasks, Task{
+			ID: t.ID, X: t.Loc.X, Y: t.Loc.Y, Capacity: t.Capacity, Created: t.Created, Deadline: t.Deadline,
+		})
+	}
+	if groups != nil {
+		out.Groups = groups
+		return out
+	}
+	n := len(in.Workers)
+	out.Quality = make([][]float64, n)
+	for i := 0; i < n; i++ {
+		out.Quality[i] = make([]float64, n)
+		for k := 0; k < n; k++ {
+			out.Quality[i][k] = in.Quality.Quality(i, k)
+		}
+	}
+	return out
+}
+
+// ToModel reconstructs a model.Instance with candidate sets built over the
+// given index.
+func (in *Instance) ToModel(kind model.IndexKind) (*model.Instance, error) {
+	if in.B < 1 {
+		return nil, fmt.Errorf("dataset: B = %d", in.B)
+	}
+	m := &model.Instance{B: in.B, Now: in.Now}
+	for _, w := range in.Workers {
+		m.Workers = append(m.Workers, model.Worker{
+			ID: w.ID, Loc: geo.Pt(w.X, w.Y), Speed: w.Speed, Radius: w.Radius, Arrive: w.Arrive,
+		})
+	}
+	for _, t := range in.Tasks {
+		m.Tasks = append(m.Tasks, model.Task{
+			ID: t.ID, Loc: geo.Pt(t.X, t.Y), Capacity: t.Capacity, Created: t.Created, Deadline: t.Deadline,
+		})
+	}
+	switch {
+	case in.Groups != nil:
+		if len(in.Groups) != len(in.Workers) {
+			return nil, fmt.Errorf("dataset: %d group lists for %d workers", len(in.Groups), len(in.Workers))
+		}
+		m.Quality = coop.NewJaccard(in.Groups)
+	case in.Quality != nil:
+		n := len(in.Workers)
+		if len(in.Quality) != n {
+			return nil, fmt.Errorf("dataset: quality matrix has %d rows for %d workers", len(in.Quality), n)
+		}
+		q := coop.NewMatrix(n)
+		for i := 0; i < n; i++ {
+			if len(in.Quality[i]) != n {
+				return nil, fmt.Errorf("dataset: quality row %d has %d cols", i, len(in.Quality[i]))
+			}
+			for k := i + 1; k < n; k++ {
+				q.Set(i, k, in.Quality[i][k])
+			}
+		}
+		m.Quality = q
+	default:
+		return nil, fmt.Errorf("dataset: instance carries neither groups nor quality matrix")
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	m.BuildCandidates(kind)
+	return m, nil
+}
+
+// Write encodes the instance as indented JSON.
+func (in *Instance) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(in)
+}
+
+// Read decodes an instance from JSON.
+func Read(r io.Reader) (*Instance, error) {
+	var in Instance
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("dataset: decode: %w", err)
+	}
+	return &in, nil
+}
+
+// Save writes the instance to a file.
+func (in *Instance) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := in.Write(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads an instance from a file.
+func Load(path string) (*Instance, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,133 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"casc/internal/coop"
+	"casc/internal/geo"
+	"casc/internal/model"
+)
+
+func matrixInstance() *model.Instance {
+	q := coop.NewMatrix(3)
+	q.Set(0, 1, 0.8)
+	q.Set(1, 2, 0.3)
+	return &model.Instance{
+		Workers: []model.Worker{
+			{ID: 10, Loc: geo.Pt(0.1, 0.2), Speed: 0.05, Radius: 0.3},
+			{ID: 11, Loc: geo.Pt(0.4, 0.5), Speed: 0.04, Radius: 0.3},
+			{ID: 12, Loc: geo.Pt(0.6, 0.6), Speed: 0.03, Radius: 0.3},
+		},
+		Tasks: []model.Task{
+			{ID: 20, Loc: geo.Pt(0.3, 0.3), Capacity: 3, Deadline: 5},
+		},
+		Quality: q,
+		B:       2,
+		Now:     1,
+	}
+}
+
+func TestMatrixRoundTrip(t *testing.T) {
+	in := matrixInstance()
+	wire := FromModel(in, nil)
+	var buf bytes.Buffer
+	if err := wire.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := back.ToModel(model.IndexLinear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Workers) != 3 || len(m.Tasks) != 1 || m.B != 2 || m.Now != 1 {
+		t.Fatalf("shape lost: %d workers, %d tasks, B=%d", len(m.Workers), len(m.Tasks), m.B)
+	}
+	if m.Workers[0].ID != 10 || m.Workers[0].Loc != geo.Pt(0.1, 0.2) {
+		t.Errorf("worker 0 lost: %+v", m.Workers[0])
+	}
+	if got := m.Quality.Quality(0, 1); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("quality(0,1) = %v", got)
+	}
+	if got := m.Quality.Quality(0, 2); got != 0 {
+		t.Errorf("quality(0,2) = %v", got)
+	}
+	if m.WorkerCand == nil {
+		t.Error("candidates not built")
+	}
+}
+
+func TestGroupsRoundTrip(t *testing.T) {
+	groups := [][]int{{1, 2}, {2, 3}, {}}
+	in := matrixInstance()
+	in.Quality = coop.NewJaccard(groups)
+	wire := FromModel(in, groups)
+	var buf bytes.Buffer
+	if err := wire.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Groups form must not embed a dense matrix.
+	if strings.Contains(buf.String(), `"quality"`) {
+		t.Error("groups instance serialized a dense matrix too")
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := back.ToModel(model.IndexRTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := in.Quality.Quality(0, 1)
+	if got := m.Quality.Quality(0, 1); math.Abs(got-want) > 1e-12 {
+		t.Errorf("jaccard quality lost: %v vs %v", got, want)
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "inst.json")
+	wire := FromModel(matrixInstance(), nil)
+	if err := wire.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Workers) != 3 {
+		t.Errorf("loaded %d workers", len(back.Workers))
+	}
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("loading missing file succeeded")
+	}
+}
+
+func TestToModelErrors(t *testing.T) {
+	cases := map[string]*Instance{
+		"no quality":     {B: 2, Workers: []Worker{{}}, Tasks: []Task{{Capacity: 2}}},
+		"bad B":          {B: 0},
+		"groups len":     {B: 2, Workers: []Worker{{}, {}}, Groups: [][]int{{1}}},
+		"matrix rows":    {B: 2, Workers: []Worker{{}, {}}, Quality: [][]float64{{0, 0.1}}},
+		"matrix cols":    {B: 2, Workers: []Worker{{}, {}}, Quality: [][]float64{{0, 1}, {1}}},
+		"capacity zero":  {B: 2, Workers: []Worker{{}}, Tasks: []Task{{Capacity: 0}}, Groups: [][]int{{}}},
+		"negative speed": {B: 2, Workers: []Worker{{Speed: -1}}, Groups: [][]int{{}}},
+	}
+	for name, wire := range cases {
+		if _, err := wire.ToModel(model.IndexLinear); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+}

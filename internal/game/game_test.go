@@ -1,0 +1,324 @@
+package game
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// congestion is Rosenthal's classic congestion game: each of n players picks
+// one of k resources; a player's cost is the load of its resource, so its
+// utility is -load. The exact potential is -Σ_r load_r(load_r+1)/2.
+// Best-response dynamics provably converge. The "affected" set of a move is
+// every player on the two touched resources — a faithful analogue of the
+// paper's Theorems V.3/V.4 marking.
+type congestion struct {
+	choice []int
+	load   []int
+}
+
+func newCongestion(r *rand.Rand, players, resources int) *congestion {
+	g := &congestion{choice: make([]int, players), load: make([]int, resources)}
+	for p := range g.choice {
+		c := r.Intn(resources)
+		g.choice[p] = c
+		g.load[c]++
+	}
+	return g
+}
+
+func (g *congestion) NumPlayers() int { return len(g.choice) }
+
+func (g *congestion) utility(p, s int) float64 {
+	l := g.load[s]
+	if g.choice[p] != s {
+		l++ // joining adds itself
+	}
+	return -float64(l)
+}
+
+func (g *congestion) BestResponse(p int) (int, float64, bool) {
+	cur := g.utility(p, g.choice[p])
+	best, bestU := g.choice[p], cur
+	for s := range g.load {
+		if u := g.utility(p, s); u > bestU {
+			best, bestU = s, u
+		}
+	}
+	return best, bestU - cur, best != g.choice[p]
+}
+
+func (g *congestion) Apply(p, s int) []int {
+	old := g.choice[p]
+	g.load[old]--
+	g.load[s]++
+	g.choice[p] = s
+	var affected []int
+	for q, c := range g.choice {
+		if c == old || c == s {
+			affected = append(affected, q)
+		}
+	}
+	return affected
+}
+
+func (g *congestion) Potential() float64 {
+	var f float64
+	for _, l := range g.load {
+		f -= float64(l*(l+1)) / 2
+	}
+	return f
+}
+
+func TestRunConvergesToNash(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		g := newCongestion(r, 30, 5)
+		res := Run(g, Options{})
+		if res.Reason != StopNash {
+			t.Fatalf("trial %d: reason %s", trial, res.Reason)
+		}
+		if !IsNash(g, 0) {
+			t.Fatalf("trial %d: result is not a Nash equilibrium", trial)
+		}
+		// A Nash equilibrium of this game balances loads within 1.
+		minL, maxL := math.MaxInt, 0
+		for _, l := range g.load {
+			if l < minL {
+				minL = l
+			}
+			if l > maxL {
+				maxL = l
+			}
+		}
+		if maxL-minL > 1 {
+			t.Fatalf("trial %d: unbalanced equilibrium loads %v", trial, g.load)
+		}
+	}
+}
+
+func TestPotentialMonotone(t *testing.T) {
+	// Wrap the game to observe the potential after every move.
+	r := rand.New(rand.NewSource(2))
+	g := newCongestion(r, 40, 6)
+	mon := &monotoneCheck{congestion: g, last: g.Potential(), t: t}
+	Run(mon, Options{})
+}
+
+type monotoneCheck struct {
+	*congestion
+	last float64
+	t    *testing.T
+}
+
+func (m *monotoneCheck) Apply(p, s int) []int {
+	out := m.congestion.Apply(p, s)
+	cur := m.congestion.Potential()
+	if cur < m.last-1e-9 {
+		m.t.Fatalf("potential decreased: %v -> %v", m.last, cur)
+	}
+	m.last = cur
+	return out
+}
+
+func TestLazyMatchesEager(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		seed := r.Int63()
+		eager := newCongestion(rand.New(rand.NewSource(seed)), 50, 7)
+		lazy := newCongestion(rand.New(rand.NewSource(seed)), 50, 7)
+		re := Run(eager, Options{})
+		rl := Run(lazy, Options{Lazy: true})
+		if re.Reason != StopNash || rl.Reason != StopNash {
+			t.Fatalf("trial %d: reasons %s/%s", trial, re.Reason, rl.Reason)
+		}
+		// Both must reach Nash equilibria (possibly different ones) with
+		// identical potential here, since all equilibria of a balanced
+		// congestion game share the load profile.
+		if math.Abs(re.FinalPotential-rl.FinalPotential) > 1e-9 {
+			t.Fatalf("trial %d: potentials differ: %v vs %v", trial, re.FinalPotential, rl.FinalPotential)
+		}
+		if !IsNash(lazy, 0) {
+			t.Fatalf("trial %d: lazy result not Nash", trial)
+		}
+	}
+}
+
+func TestLazyVerifiesWithIncompleteAffectedSets(t *testing.T) {
+	// A game that lies about affected players (always returns empty) must
+	// still end at a true Nash thanks to the verification pass.
+	r := rand.New(rand.NewSource(4))
+	g := &liar{congestion: newCongestion(r, 30, 4)}
+	res := Run(g, Options{Lazy: true})
+	if res.Reason != StopNash {
+		t.Fatalf("reason %s", res.Reason)
+	}
+	if !IsNash(g, 0) {
+		t.Fatal("liar game did not reach Nash")
+	}
+}
+
+type liar struct{ *congestion }
+
+func (l *liar) Apply(p, s int) []int {
+	l.congestion.Apply(p, s)
+	return []int{} // empty but non-nil: claims nobody affected
+}
+
+func TestNilAffectedMarksAll(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	g := &nilAffected{congestion: newCongestion(r, 20, 4)}
+	res := Run(g, Options{Lazy: true})
+	if res.Reason != StopNash || !IsNash(g, 0) {
+		t.Fatalf("reason %s", res.Reason)
+	}
+}
+
+type nilAffected struct{ *congestion }
+
+func (n *nilAffected) Apply(p, s int) []int {
+	n.congestion.Apply(p, s)
+	return nil
+}
+
+func TestMaxRounds(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	g := newCongestion(r, 200, 2)
+	res := Run(g, Options{MaxRounds: 1})
+	if res.Reason != StopMaxRounds {
+		t.Fatalf("reason %s, want max-rounds", res.Reason)
+	}
+	if res.Rounds != 1 {
+		t.Fatalf("rounds %d", res.Rounds)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	g := newCongestion(r, 50, 5)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := Run(g, Options{Context: ctx})
+	if res.Reason != StopContext {
+		t.Fatalf("reason %s, want context", res.Reason)
+	}
+	if res.Moves != 0 {
+		t.Fatalf("moves %d after pre-cancelled context", res.Moves)
+	}
+}
+
+func TestThresholdStop(t *testing.T) {
+	// With a huge epsilon the dynamics stop after the first round even
+	// though improvements remain.
+	r := rand.New(rand.NewSource(8))
+	g := newCongestion(r, 100, 3)
+	res := Run(g, Options{Epsilon: 1e9})
+	if res.Reason != StopThreshold && res.Reason != StopNash {
+		t.Fatalf("reason %s", res.Reason)
+	}
+	if res.Reason == StopThreshold && res.Rounds != 1 {
+		t.Fatalf("rounds %d, want 1", res.Rounds)
+	}
+}
+
+// chain is a coordination game whose best-response dynamics take Θ(n)
+// rounds: player p (p < n−1) wants to copy player p+1, the last player
+// wants strategy 1, and everyone starts at 0. Each round exactly one new
+// player can improve, so eager dynamics burn n calls per round while lazy
+// dynamics only revisit the single affected neighbour — the situation LUB
+// (§V-D) is designed for.
+type chain struct {
+	choice []int
+}
+
+func (c *chain) NumPlayers() int { return len(c.choice) }
+
+func (c *chain) utility(p, s int) float64 {
+	if p == len(c.choice)-1 {
+		return float64(s)
+	}
+	if s == c.choice[p+1] {
+		return 1
+	}
+	return 0
+}
+
+func (c *chain) BestResponse(p int) (int, float64, bool) {
+	cur := c.utility(p, c.choice[p])
+	best, bestU := c.choice[p], cur
+	for s := 0; s <= 1; s++ {
+		if u := c.utility(p, s); u > bestU {
+			best, bestU = s, u
+		}
+	}
+	return best, bestU - cur, best != c.choice[p]
+}
+
+func (c *chain) Apply(p, s int) []int {
+	c.choice[p] = s
+	if p > 0 {
+		return []int{p - 1}
+	}
+	return []int{}
+}
+
+func (c *chain) Potential() float64 {
+	var f float64
+	for p := range c.choice {
+		f += c.utility(p, c.choice[p])
+	}
+	return f
+}
+
+func TestLUBReducesBestResponseCalls(t *testing.T) {
+	const n = 200
+	eager := &chain{choice: make([]int, n)}
+	lazy := &chain{choice: make([]int, n)}
+	re := Run(eager, Options{MaxRounds: 10 * n})
+	rl := Run(lazy, Options{Lazy: true, MaxRounds: 10 * n})
+	if re.Reason != StopNash || rl.Reason != StopNash {
+		t.Fatalf("reasons %s/%s", re.Reason, rl.Reason)
+	}
+	for p := 0; p < n; p++ {
+		if eager.choice[p] != 1 || lazy.choice[p] != 1 {
+			t.Fatalf("player %d did not converge to 1", p)
+		}
+	}
+	if rl.BestResponseCalls*10 > re.BestResponseCalls {
+		t.Errorf("LUB used %d best-response calls, eager %d — expected >10x savings",
+			rl.BestResponseCalls, re.BestResponseCalls)
+	}
+}
+
+func TestIsNashDetectsDeviation(t *testing.T) {
+	g := &congestion{choice: []int{0, 0, 0}, load: []int{3, 0}}
+	if IsNash(g, 0) {
+		t.Error("everyone on one resource with an empty one is not Nash")
+	}
+	g2 := &congestion{choice: []int{0, 1}, load: []int{1, 1}}
+	if !IsNash(g2, 0) {
+		t.Error("balanced profile should be Nash")
+	}
+}
+
+func TestGainPriorityConvergesIdentically(t *testing.T) {
+	// Priority scheduling changes the order, not the destination: both
+	// variants must reach Nash equilibria of equal potential on the
+	// balanced congestion game.
+	for seed := int64(0); seed < 10; seed++ {
+		plain := newCongestion(rand.New(rand.NewSource(seed)), 40, 6)
+		prio := newCongestion(rand.New(rand.NewSource(seed)), 40, 6)
+		rp := Run(plain, Options{})
+		rq := Run(prio, Options{GainPriority: true})
+		if rp.Reason != StopNash || rq.Reason != StopNash {
+			t.Fatalf("seed %d: reasons %s/%s", seed, rp.Reason, rq.Reason)
+		}
+		if !IsNash(prio, 0) {
+			t.Fatalf("seed %d: priority run not Nash", seed)
+		}
+		if math.Abs(rp.FinalPotential-rq.FinalPotential) > 1e-9 {
+			t.Fatalf("seed %d: potentials differ %v vs %v", seed, rp.FinalPotential, rq.FinalPotential)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Chart renders the series' score panel as an ASCII chart, one mark per
+// solver per sweep point plus the UPPER estimate — a terminal-friendly
+// rendition of the paper's figures. Marks share a column per x value;
+// when two solvers land on the same cell the later one wins (they are
+// drawn in reverse-importance order so TPG/GT stay visible).
+func (s *Series) Chart(w io.Writer) error {
+	const height = 14
+	if len(s.Points) == 0 {
+		_, err := fmt.Fprintf(w, "%s — no data\n", s.Figure)
+		return err
+	}
+	names := s.solverNames()
+	marks := map[string]byte{
+		"TPG": 'T', "GT": 'G', "GT+LUB": 'L', "GT+TSI": 'S', "GT+ALL": 'A',
+		"MFLOW": 'M', "RAND": 'R', "WST": 'W',
+	}
+	// Scale.
+	maxV := 0.0
+	for _, pt := range s.Points {
+		if pt.Upper > maxV {
+			maxV = pt.Upper
+		}
+		for _, r := range pt.Results {
+			if r.Score > maxV {
+				maxV = r.Score
+			}
+		}
+	}
+	if maxV <= 0 {
+		maxV = 1
+	}
+	colWidth := 0
+	for _, pt := range s.Points {
+		if len(pt.Label) > colWidth {
+			colWidth = len(pt.Label)
+		}
+	}
+	colWidth += 3
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", len(s.Points)*colWidth))
+	}
+	put := func(col int, v float64, mark byte) {
+		row := int(math.Round(v / maxV * float64(height-1)))
+		if row < 0 {
+			row = 0
+		}
+		if row > height-1 {
+			row = height - 1
+		}
+		grid[height-1-row][col*colWidth+colWidth/2] = mark
+	}
+	for ci, pt := range s.Points {
+		put(ci, pt.Upper, '^')
+		// Draw least-important first so headline solvers overwrite.
+		order := append([]SolverResult(nil), pt.Results...)
+		for i := len(order) - 1; i >= 0; i-- {
+			r := order[i]
+			mark, ok := marks[r.Name]
+			if !ok {
+				mark = '?'
+			}
+			put(ci, r.Score, mark)
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s (score; ^ = UPPER)\n", s.Figure, s.Experiment)
+	for i, row := range grid {
+		axis := " "
+		switch i {
+		case 0:
+			axis = fmt.Sprintf("%8.0f", maxV)
+		case height - 1:
+			axis = fmt.Sprintf("%8.0f", 0.0)
+		default:
+			axis = strings.Repeat(" ", 8)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", axis, string(row))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", 8), strings.Repeat("-", len(s.Points)*colWidth))
+	fmt.Fprintf(&b, "%s  ", strings.Repeat(" ", 8))
+	for _, pt := range s.Points {
+		fmt.Fprintf(&b, "%-*s", colWidth, centerLabel(pt.Label, colWidth))
+	}
+	b.WriteByte('\n')
+	// Legend.
+	fmt.Fprintf(&b, "legend: ")
+	for _, n := range names {
+		fmt.Fprintf(&b, "%c=%s ", marks[n], n)
+	}
+	b.WriteString("^=UPPER\n\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func centerLabel(label string, width int) string {
+	pad := (width - len(label)) / 2
+	if pad < 0 {
+		pad = 0
+	}
+	return strings.Repeat(" ", pad) + label
+}

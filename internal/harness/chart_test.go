@@ -1,0 +1,106 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func chartSeries() *Series {
+	return &Series{
+		Experiment: "capacity",
+		Figure:     "Figure 2",
+		XLabel:     "capacity a_j",
+		Points: []Point{
+			{Label: "3", Upper: 100, Results: []SolverResult{
+				{Name: "TPG", Score: 70}, {Name: "GT", Score: 75}, {Name: "RAND", Score: 40},
+			}},
+			{Label: "4", Upper: 110, Results: []SolverResult{
+				{Name: "TPG", Score: 80}, {Name: "GT", Score: 85}, {Name: "RAND", Score: 45},
+			}},
+		},
+	}
+}
+
+func TestChartRenders(t *testing.T) {
+	var buf bytes.Buffer
+	if err := chartSeries().Chart(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 2", "legend:", "G=GT", "T=TPG", "^=UPPER"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// Marks must appear in the grid.
+	for _, mark := range []string{"G", "T", "R", "^"} {
+		if strings.Count(out, mark) < 1 {
+			t.Errorf("mark %q absent:\n%s", mark, out)
+		}
+	}
+	// UPPER row (value 110) should be the top axis label.
+	if !strings.Contains(out, "110 |") {
+		t.Errorf("max axis label missing:\n%s", out)
+	}
+}
+
+func TestChartOrdersVertically(t *testing.T) {
+	var buf bytes.Buffer
+	if err := chartSeries().Chart(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(buf.String(), "\n")
+	rowOf := func(mark byte, col int) int {
+		for i, line := range lines {
+			bar := strings.IndexByte(line, '|')
+			if bar < 0 {
+				continue
+			}
+			body := line[bar+1:]
+			for j := 0; j < len(body); j++ {
+				if body[j] == mark {
+					// Column index by label bucket.
+					if j < len(body)/2 && col == 0 || j >= len(body)/2 && col == 1 {
+						return i
+					}
+				}
+			}
+		}
+		return -1
+	}
+	// In column 0: UPPER (100) above GT (75) above RAND (40): smaller row
+	// index means higher on screen.
+	up, gt, rnd := rowOf('^', 0), rowOf('G', 0), rowOf('R', 0)
+	if up < 0 || gt < 0 || rnd < 0 {
+		t.Fatalf("marks not found (rows %d %d %d)", up, gt, rnd)
+	}
+	if !(up <= gt && gt < rnd) {
+		t.Errorf("vertical order wrong: upper=%d gt=%d rand=%d", up, gt, rnd)
+	}
+}
+
+func TestChartEmptySeries(t *testing.T) {
+	var buf bytes.Buffer
+	s := &Series{Figure: "Figure X"}
+	if err := s.Chart(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no data") {
+		t.Error("empty series should say so")
+	}
+}
+
+func TestChartZeroScores(t *testing.T) {
+	s := &Series{
+		Figure: "Figure Z",
+		Points: []Point{{Label: "1", Results: []SolverResult{{Name: "TPG", Score: 0}}}},
+	}
+	var buf bytes.Buffer
+	if err := s.Chart(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "T") {
+		t.Error("zero-score mark missing")
+	}
+}

@@ -1,0 +1,689 @@
+// Package harness regenerates every figure of the paper's experimental
+// study (§VI). Each Experiment sweeps one Table II parameter, runs R rounds
+// of batch assignment per sweep value with every approach (TPG, GT, GT+LUB,
+// GT+TSI, GT+ALL, MFLOW, RAND) plus the UPPER estimate, and reports the two
+// measures the paper plots: total cooperation score and average batch
+// running time.
+package harness
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"casc/internal/assign"
+	"casc/internal/checkin"
+	"casc/internal/meetup"
+	"casc/internal/model"
+	"casc/internal/stats"
+	"casc/internal/workload"
+)
+
+// SolverResult is one approach's aggregate over the R rounds of one sweep
+// point.
+type SolverResult struct {
+	Name string
+	// Score is the total cooperation quality revenue summed over rounds.
+	Score float64
+	// BatchSeconds is the mean per-batch running time.
+	BatchSeconds float64
+}
+
+// Point is one x-axis value of a figure.
+type Point struct {
+	Label   string
+	Results []SolverResult
+	// Upper is the summed UPPER estimate (Equation 9) over the rounds.
+	Upper float64
+}
+
+// Series is one regenerated figure.
+type Series struct {
+	Experiment string
+	Figure     string
+	XLabel     string
+	Points     []Point
+}
+
+// Options configure an experiment run.
+type Options struct {
+	// Rounds is R (Table II: 10).
+	Rounds int
+	// Seed drives all randomness.
+	Seed int64
+	// Solvers restricts the approaches (nil: all of assign.AllNames).
+	Solvers []string
+	// Scale multiplies m and n to shrink runs for tests/benches (default 1).
+	Scale float64
+	// Progress, when non-nil, receives one line per sweep point.
+	Progress io.Writer
+}
+
+func (o Options) withDefaults() Options {
+	if o.Rounds <= 0 {
+		o.Rounds = workload.DefaultRounds
+	}
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	if o.Solvers == nil {
+		o.Solvers = assign.AllNames()
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+func (o Options) scaled(v int) int {
+	s := int(float64(v) * o.Scale)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// Names of the experiments, in the paper's figure order.
+const (
+	ExpCapacity = "capacity" // Fig. 2
+	ExpSpeed    = "speed"    // Fig. 3
+	ExpRadius   = "radius"   // Fig. 4
+	ExpDeadline = "deadline" // Fig. 5
+	ExpEpsilon  = "epsilon"  // Fig. 6
+	ExpWorkers  = "workers"  // Fig. 7
+	ExpTasks    = "tasks"    // Fig. 8
+)
+
+// ExpDistribution is an extra (non-figure) experiment comparing the UNIF
+// and SKEW location distributions of §VI-C at Table II defaults.
+const ExpDistribution = "distribution"
+
+// ExpOptGap is an extra experiment measuring the true optimality gap of the
+// heuristics: tiny instances solved to proven optimality by branch and
+// bound, swept over the worker count. The paper cannot report this (its
+// instances are too large for exact solving); at toy sizes it calibrates
+// how much the 50-97%-of-UPPER figures understate solution quality, since
+// UPPER itself is loose.
+const ExpOptGap = "optgap"
+
+// ExpAnytime is an extra experiment tracing GT's anytime profile (§V-D):
+// the total cooperation score after each best-response round, averaged
+// over R default instances, starting from the random initialization so
+// the climb is visible. The flattening curve is the empirical basis of
+// the TSI optimization.
+const ExpAnytime = "anytime"
+
+// ExpSources is an extra robustness experiment: the same Table II defaults
+// run over three data sources — synthetic UNIF, the Meetup-style event
+// network, and the check-in trace — to show the solver ordering is a
+// property of the problem, not of one generator.
+const ExpSources = "sources"
+
+// AllExperiments lists every experiment name in figure order.
+func AllExperiments() []string {
+	return []string{ExpCapacity, ExpSpeed, ExpRadius, ExpDeadline, ExpEpsilon, ExpWorkers, ExpTasks}
+}
+
+// ExtraExperiments lists experiments beyond the paper's figures.
+func ExtraExperiments() []string {
+	return []string{ExpDistribution, ExpOptGap, ExpAnytime, ExpSources}
+}
+
+// Run executes the named experiment.
+func Run(ctx context.Context, name string, opt Options) (*Series, error) {
+	opt = opt.withDefaults()
+	switch name {
+	case ExpCapacity, ExpSpeed, ExpRadius, ExpDeadline:
+		return runMeetup(ctx, name, opt)
+	case ExpEpsilon:
+		return runEpsilon(ctx, opt)
+	case ExpWorkers, ExpTasks:
+		return runSynthetic(ctx, name, opt)
+	case ExpDistribution:
+		return runDistribution(ctx, opt)
+	case ExpOptGap:
+		return runOptGap(ctx, opt)
+	case ExpAnytime:
+		return runAnytime(ctx, opt)
+	case ExpSources:
+		return runSources(ctx, opt)
+	default:
+		return nil, fmt.Errorf("harness: unknown experiment %q (have %v)", name, AllExperiments())
+	}
+}
+
+// instanceMaker yields the round-th instance of one sweep point.
+type instanceMaker func(round int) (*model.Instance, error)
+
+// sweepPoint runs all solvers for R rounds of instances.
+func sweepPoint(ctx context.Context, label string, opt Options, mk instanceMaker) (Point, error) {
+	pt := Point{Label: label}
+	agg := make(map[string]*SolverResult)
+	for _, name := range opt.Solvers {
+		agg[name] = &SolverResult{Name: name}
+	}
+	for round := 0; round < opt.Rounds; round++ {
+		if ctx.Err() != nil {
+			return pt, ctx.Err()
+		}
+		in, err := mk(round)
+		if err != nil {
+			return pt, err
+		}
+		pt.Upper += assign.Upper(in)
+		for _, name := range opt.Solvers {
+			solver, err := assign.ByName(name, opt.Seed+int64(round))
+			if err != nil {
+				return pt, err
+			}
+			start := time.Now()
+			a, err := solver.Solve(ctx, in)
+			elapsed := time.Since(start).Seconds()
+			if err != nil {
+				return pt, fmt.Errorf("harness: %s round %d: %w", name, round, err)
+			}
+			r := agg[name]
+			r.Score += a.TotalScore(in)
+			r.BatchSeconds += elapsed / float64(opt.Rounds)
+		}
+	}
+	for _, name := range opt.Solvers {
+		pt.Results = append(pt.Results, *agg[name])
+	}
+	if opt.Progress != nil {
+		fmt.Fprintf(opt.Progress, "point %s done\n", label)
+	}
+	return pt, nil
+}
+
+// runMeetup handles the "real data" experiments (Figs. 2-5): sweep one
+// parameter of the per-round sample drawn from the synthetic Meetup city.
+func runMeetup(ctx context.Context, name string, opt Options) (*Series, error) {
+	cityCfg := meetup.Default()
+	cityCfg.Seed = opt.Seed
+	// Shrink the city along with the sample when scaling down.
+	if opt.Scale < 1 {
+		cityCfg.NumUsers = opt.scaled(cityCfg.NumUsers)
+		cityCfg.NumEvents = opt.scaled(cityCfg.NumEvents)
+		cityCfg.NumGroups = opt.scaled(cityCfg.NumGroups)
+	}
+	city := meetup.Generate(cityCfg)
+
+	base := meetup.DefaultSample()
+	base.NumWorkers = opt.scaled(base.NumWorkers)
+	base.NumTasks = opt.scaled(base.NumTasks)
+
+	var (
+		series  *Series
+		labels  []string
+		configs []meetup.SampleParams
+	)
+	switch name {
+	case ExpCapacity:
+		series = &Series{Experiment: name, Figure: "Figure 2", XLabel: "capacity a_j"}
+		for _, c := range workload.CapacityValues {
+			p := base
+			p.Capacity = c
+			labels = append(labels, fmt.Sprintf("%d", c))
+			configs = append(configs, p)
+		}
+	case ExpSpeed:
+		series = &Series{Experiment: name, Figure: "Figure 3", XLabel: "[v-,v+] (%)"}
+		for _, v := range workload.SpeedRanges {
+			p := base
+			p.SpeedRange = v
+			labels = append(labels, rangeLabel(v))
+			configs = append(configs, p)
+		}
+	case ExpRadius:
+		series = &Series{Experiment: name, Figure: "Figure 4", XLabel: "[r-,r+] (%)"}
+		for _, v := range workload.RadiusRanges {
+			p := base
+			p.RadiusRange = v
+			labels = append(labels, rangeLabel(v))
+			configs = append(configs, p)
+		}
+	case ExpDeadline:
+		series = &Series{Experiment: name, Figure: "Figure 5", XLabel: "remaining time τ_j"}
+		for _, v := range workload.RemainingTimes {
+			p := base
+			p.RemainingTime = v
+			labels = append(labels, fmt.Sprintf("%g", v))
+			configs = append(configs, p)
+		}
+	}
+	for i, cfg := range configs {
+		cfg := cfg
+		rng := stats.NewRNG(opt.Seed + int64(i)*101)
+		pt, err := sweepPoint(ctx, labels[i], opt, func(round int) (*model.Instance, error) {
+			return city.Sample(rng, cfg, float64(round))
+		})
+		if err != nil {
+			return series, err
+		}
+		series.Points = append(series.Points, pt)
+	}
+	return series, nil
+}
+
+func rangeLabel(v [2]float64) string {
+	return fmt.Sprintf("[%g,%g]", v[0]*100, v[1]*100)
+}
+
+// runSynthetic handles Figs. 7 and 8: sweep m or n over UNIF synthetic data.
+func runSynthetic(ctx context.Context, name string, opt Options) (*Series, error) {
+	base := workload.Default()
+	base.NumWorkers = opt.scaled(base.NumWorkers)
+	base.NumTasks = opt.scaled(base.NumTasks)
+
+	var series *Series
+	var params []workload.Params
+	var labels []string
+	switch name {
+	case ExpWorkers:
+		series = &Series{Experiment: name, Figure: "Figure 7", XLabel: "workers m"}
+		for _, m := range workload.WorkerCounts {
+			p := base
+			p.NumWorkers = opt.scaled(m)
+			labels = append(labels, countLabel(m))
+			params = append(params, p)
+		}
+	case ExpTasks:
+		series = &Series{Experiment: name, Figure: "Figure 8", XLabel: "tasks n"}
+		for _, n := range workload.TaskCounts {
+			p := base
+			p.NumTasks = opt.scaled(n)
+			labels = append(labels, countLabel(n))
+			params = append(params, p)
+		}
+	}
+	for i, p := range params {
+		p := p
+		pt, err := sweepPoint(ctx, labels[i], opt, func(round int) (*model.Instance, error) {
+			return p.WithSeed(opt.Seed+int64(i)*1000+int64(round)).Instance(float64(round), model.IndexRTree)
+		})
+		if err != nil {
+			return series, err
+		}
+		series.Points = append(series.Points, pt)
+	}
+	return series, nil
+}
+
+// runDistribution compares UNIF against SKEW at Table II defaults (§VI-C
+// generates both; the paper's scalability figures use them as alternative
+// synthetic workloads).
+func runDistribution(ctx context.Context, opt Options) (*Series, error) {
+	base := workload.Default()
+	base.NumWorkers = opt.scaled(base.NumWorkers)
+	base.NumTasks = opt.scaled(base.NumTasks)
+	series := &Series{Experiment: ExpDistribution, Figure: "Extra", XLabel: "distribution"}
+	for i, dist := range []workload.Dist{workload.UNIF, workload.SKEW} {
+		p := base
+		p.Dist = dist
+		pt, err := sweepPoint(ctx, dist.String(), opt, func(round int) (*model.Instance, error) {
+			return p.WithSeed(opt.Seed+int64(i)*1000+int64(round)).Instance(float64(round), model.IndexRTree)
+		})
+		if err != nil {
+			return series, err
+		}
+		series.Points = append(series.Points, pt)
+	}
+	return series, nil
+}
+
+// runOptGap solves tiny instances with branch and bound and reports TPG,
+// GT and the OPT*/UPPER reference points. OPT* is the proven optimum when
+// the branch and bound closes within its node budget; on draws where it
+// cannot, OPT* falls back to the best assignment any method found, so the
+// invariant "no solver exceeds OPT*" holds either way. Sweep:
+// m ∈ {10, 14, 18, 22} with n = m/3 tasks.
+func runOptGap(ctx context.Context, opt Options) (*Series, error) {
+	series := &Series{Experiment: ExpOptGap, Figure: "Extra", XLabel: "workers m (tiny)"}
+	sizes := []int{10, 14, 18, 22}
+	solvers := []string{"TPG", "GT", "MFLOW", "RAND"}
+	for i, m := range sizes {
+		pt := Point{Label: fmt.Sprintf("%d", m)}
+		agg := map[string]*SolverResult{}
+		for _, name := range solvers {
+			agg[name] = &SolverResult{Name: name}
+		}
+		exactAgg := &SolverResult{Name: "OPT*"}
+		for round := 0; round < opt.Rounds; round++ {
+			if ctx.Err() != nil {
+				return series, ctx.Err()
+			}
+			p := workload.Default()
+			p.NumWorkers = m
+			p.NumTasks = m / 3
+			// Tiny instances need generous reach or most draws have no
+			// feasible B-group at all; these settings make ~every draw
+			// solvable while keeping the search space exact-solver sized.
+			p.RadiusRange = [2]float64{0.4, 0.7}
+			p.SpeedRange = [2]float64{0.1, 0.3}
+			p.RemainingTime = 5
+			p.Seed = opt.Seed + int64(i)*100 + int64(round)
+			in, err := p.Instance(0, model.IndexLinear)
+			if err != nil {
+				return series, err
+			}
+			pt.Upper += assign.Upper(in)
+			bestKnown := 0.0
+			for _, name := range solvers {
+				s, err := assign.ByName(name, p.Seed)
+				if err != nil {
+					return series, err
+				}
+				st := time.Now()
+				a, err := s.Solve(ctx, in)
+				if err != nil {
+					return series, err
+				}
+				score := a.TotalScore(in)
+				if score > bestKnown {
+					bestKnown = score
+				}
+				agg[name].Score += score
+				agg[name].BatchSeconds += time.Since(st).Seconds() / float64(opt.Rounds)
+			}
+			ex := &assign.Exact{MaxNodes: 4e6}
+			start := time.Now()
+			optA, err := ex.Solve(ctx, in)
+			if err != nil {
+				return series, err
+			}
+			if score := optA.TotalScore(in); score > bestKnown {
+				bestKnown = score
+			}
+			exactAgg.Score += bestKnown
+			exactAgg.BatchSeconds += time.Since(start).Seconds() / float64(opt.Rounds)
+		}
+		for _, name := range solvers {
+			pt.Results = append(pt.Results, *agg[name])
+		}
+		pt.Results = append(pt.Results, *exactAgg)
+		series.Points = append(series.Points, pt)
+		if opt.Progress != nil {
+			fmt.Fprintf(opt.Progress, "point %s done\n", pt.Label)
+		}
+	}
+	return series, nil
+}
+
+// runSources runs Table II defaults over three data sources.
+func runSources(ctx context.Context, opt Options) (*Series, error) {
+	series := &Series{Experiment: ExpSources, Figure: "Extra", XLabel: "data source"}
+	m := opt.scaled(1000)
+	n := opt.scaled(500)
+
+	// UNIF.
+	unif := workload.Default()
+	unif.NumWorkers, unif.NumTasks = m, n
+	pt, err := sweepPoint(ctx, "UNIF", opt, func(round int) (*model.Instance, error) {
+		return unif.WithSeed(opt.Seed+int64(round)).Instance(float64(round), model.IndexRTree)
+	})
+	if err != nil {
+		return series, err
+	}
+	series.Points = append(series.Points, pt)
+
+	// Meetup city.
+	mcfg := meetup.Default()
+	mcfg.Seed = opt.Seed
+	if opt.Scale < 1 {
+		mcfg.NumUsers = opt.scaled(mcfg.NumUsers)
+		mcfg.NumEvents = opt.scaled(mcfg.NumEvents)
+		mcfg.NumGroups = opt.scaled(mcfg.NumGroups)
+	}
+	city := meetup.Generate(mcfg)
+	msp := meetup.DefaultSample()
+	msp.NumWorkers, msp.NumTasks = m, n
+	mrng := stats.NewRNG(opt.Seed + 11)
+	pt, err = sweepPoint(ctx, "MEETUP", opt, func(round int) (*model.Instance, error) {
+		return city.Sample(mrng, msp, float64(round))
+	})
+	if err != nil {
+		return series, err
+	}
+	series.Points = append(series.Points, pt)
+
+	// Check-in trace.
+	ccfg := checkin.Default()
+	ccfg.Seed = opt.Seed
+	if opt.Scale < 1 {
+		ccfg.NumUsers = opt.scaled(ccfg.NumUsers)
+		ccfg.NumVenues = opt.scaled(ccfg.NumVenues)
+	}
+	if ccfg.NumUsers < m {
+		ccfg.NumUsers = m
+	}
+	tr := checkin.Generate(ccfg)
+	csp := checkin.DefaultSample()
+	csp.NumWorkers, csp.NumTasks = m, n
+	crng := stats.NewRNG(opt.Seed + 13)
+	pt, err = sweepPoint(ctx, "CHECKIN", opt, func(round int) (*model.Instance, error) {
+		return tr.Sample(crng, csp, float64(round))
+	})
+	if err != nil {
+		return series, err
+	}
+	series.Points = append(series.Points, pt)
+	return series, nil
+}
+
+// runAnytime traces GT's per-round score profile from a random start.
+func runAnytime(ctx context.Context, opt Options) (*Series, error) {
+	base := workload.Default()
+	base.NumWorkers = opt.scaled(base.NumWorkers)
+	base.NumTasks = opt.scaled(base.NumTasks)
+	series := &Series{Experiment: ExpAnytime, Figure: "Extra", XLabel: "best-response round"}
+	// Accumulate potential per round across instances; instances may
+	// converge at different round counts, so carry each one's final value
+	// forward (interrupting a converged run returns its final result).
+	var profiles [][]assign.AnytimePoint
+	var uppers float64
+	maxRounds := 0
+	for round := 0; round < opt.Rounds; round++ {
+		if ctx.Err() != nil {
+			return series, ctx.Err()
+		}
+		in, err := base.WithSeed(opt.Seed+int64(round)).Instance(float64(round), model.IndexRTree)
+		if err != nil {
+			return series, err
+		}
+		uppers += assign.Upper(in)
+		gt := assign.NewGT(assign.GTOptions{RandomInit: true, RecordAnytime: true, Seed: opt.Seed})
+		if _, err := gt.Solve(ctx, in); err != nil {
+			return series, err
+		}
+		prof := append([]assign.AnytimePoint(nil), gt.Anytime...)
+		profiles = append(profiles, prof)
+		if len(prof) > maxRounds {
+			maxRounds = len(prof)
+		}
+	}
+	for r := 0; r < maxRounds; r++ {
+		var total float64
+		for _, prof := range profiles {
+			idx := r
+			if idx >= len(prof) {
+				idx = len(prof) - 1
+			}
+			if idx >= 0 {
+				total += prof[idx].Potential
+			}
+		}
+		series.Points = append(series.Points, Point{
+			Label:   fmt.Sprintf("%d", r+1),
+			Upper:   uppers,
+			Results: []SolverResult{{Name: "GT", Score: total}},
+		})
+	}
+	if opt.Progress != nil {
+		fmt.Fprintf(opt.Progress, "anytime profile over %d rounds\n", maxRounds)
+	}
+	return series, nil
+}
+
+func countLabel(v int) string {
+	if v >= 1000 && v%1000 == 0 {
+		return fmt.Sprintf("%dK", v/1000)
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+// runEpsilon handles Fig. 6: GT+TSI under different TSI thresholds ε over
+// UNIF synthetic data.
+func runEpsilon(ctx context.Context, opt Options) (*Series, error) {
+	base := workload.Default()
+	base.NumWorkers = opt.scaled(base.NumWorkers)
+	base.NumTasks = opt.scaled(base.NumTasks)
+	series := &Series{Experiment: ExpEpsilon, Figure: "Figure 6", XLabel: "threshold ε"}
+	for i, eps := range workload.EpsilonValues {
+		pt := Point{Label: fmt.Sprintf("%g", eps)}
+		res := SolverResult{Name: "GT+TSI"}
+		for round := 0; round < opt.Rounds; round++ {
+			if ctx.Err() != nil {
+				return series, ctx.Err()
+			}
+			in, err := base.WithSeed(opt.Seed+int64(round)).Instance(float64(round), model.IndexRTree)
+			if err != nil {
+				return series, err
+			}
+			pt.Upper += assign.Upper(in)
+			solver := assign.NewGT(assign.GTOptions{Epsilon: eps})
+			start := time.Now()
+			a, err := solver.Solve(ctx, in)
+			elapsed := time.Since(start).Seconds()
+			if err != nil {
+				return series, err
+			}
+			res.Score += a.TotalScore(in)
+			res.BatchSeconds += elapsed / float64(opt.Rounds)
+		}
+		pt.Results = []SolverResult{res}
+		series.Points = append(series.Points, pt)
+		if opt.Progress != nil {
+			fmt.Fprintf(opt.Progress, "point %s done (%d/%d)\n", pt.Label, i+1, len(workload.EpsilonValues))
+		}
+	}
+	return series, nil
+}
+
+// Render writes the series as two aligned text tables (score and time),
+// mirroring how the paper presents each figure's two panels.
+func (s *Series) Render(w io.Writer) error {
+	names := s.solverNames()
+	write := func(title string, value func(SolverResult) string, extra func(Point) string, extraHead string) error {
+		var b strings.Builder
+		fmt.Fprintf(&b, "%s — %s (%s)\n", s.Figure, s.Experiment, title)
+		fmt.Fprintf(&b, "%-12s", s.XLabel)
+		for _, n := range names {
+			fmt.Fprintf(&b, "%12s", n)
+		}
+		if extraHead != "" {
+			fmt.Fprintf(&b, "%12s", extraHead)
+		}
+		b.WriteByte('\n')
+		for _, pt := range s.Points {
+			fmt.Fprintf(&b, "%-12s", pt.Label)
+			byName := map[string]SolverResult{}
+			for _, r := range pt.Results {
+				byName[r.Name] = r
+			}
+			for _, n := range names {
+				fmt.Fprintf(&b, "%12s", value(byName[n]))
+			}
+			if extraHead != "" {
+				fmt.Fprintf(&b, "%12s", extra(pt))
+			}
+			b.WriteByte('\n')
+		}
+		b.WriteByte('\n')
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+	if err := write("total cooperation score",
+		func(r SolverResult) string { return fmt.Sprintf("%.1f", r.Score) },
+		func(p Point) string { return fmt.Sprintf("%.1f", p.Upper) }, "UPPER"); err != nil {
+		return err
+	}
+	return write("batch running time (s)",
+		func(r SolverResult) string { return fmt.Sprintf("%.4f", r.BatchSeconds) },
+		nil, "")
+}
+
+// CSV writes the series as one CSV block per measure.
+func (s *Series) CSV(w io.Writer) error {
+	names := s.solverNames()
+	var b strings.Builder
+	fmt.Fprintf(&b, "experiment,measure,x")
+	for _, n := range names {
+		fmt.Fprintf(&b, ",%s", n)
+	}
+	fmt.Fprintf(&b, ",UPPER\n")
+	for _, pt := range s.Points {
+		byName := map[string]SolverResult{}
+		for _, r := range pt.Results {
+			byName[r.Name] = r
+		}
+		fmt.Fprintf(&b, "%s,score,%s", s.Experiment, pt.Label)
+		for _, n := range names {
+			fmt.Fprintf(&b, ",%.4f", byName[n].Score)
+		}
+		fmt.Fprintf(&b, ",%.4f\n", pt.Upper)
+	}
+	for _, pt := range s.Points {
+		byName := map[string]SolverResult{}
+		for _, r := range pt.Results {
+			byName[r.Name] = r
+		}
+		fmt.Fprintf(&b, "%s,seconds,%s", s.Experiment, pt.Label)
+		for _, n := range names {
+			fmt.Fprintf(&b, ",%.6f", byName[n].BatchSeconds)
+		}
+		fmt.Fprintf(&b, ",\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func (s *Series) solverNames() []string {
+	set := map[string]bool{}
+	var names []string
+	for _, pt := range s.Points {
+		for _, r := range pt.Results {
+			if !set[r.Name] {
+				set[r.Name] = true
+				names = append(names, r.Name)
+			}
+		}
+	}
+	// Preserve the canonical order where possible.
+	order := map[string]int{}
+	for i, n := range assign.AllNames() {
+		order[n] = i
+	}
+	sort.SliceStable(names, func(i, j int) bool { return order[names[i]] < order[names[j]] })
+	return names
+}
+
+// Result lookup helpers for tests and EXPERIMENTS.md generation.
+
+// Score returns the score of the named solver at the given point label.
+func (s *Series) Score(label, solver string) (float64, bool) {
+	for _, pt := range s.Points {
+		if pt.Label != label {
+			continue
+		}
+		for _, r := range pt.Results {
+			if r.Name == solver {
+				return r.Score, true
+			}
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,238 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+// quickOpts shrinks every experiment enough for the unit-test budget.
+func quickOpts() Options {
+	return Options{Rounds: 2, Seed: 3, Scale: 0.08}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := Run(context.Background(), "figure-99", quickOpts()); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestAllExperimentsRunScaledDown(t *testing.T) {
+	ctx := context.Background()
+	for _, name := range AllExperiments() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			opt := quickOpts()
+			if name == ExpWorkers || name == ExpTasks {
+				// The scalability sweeps multiply already-large counts; use
+				// an even smaller scale and fewer solvers to stay quick.
+				opt.Scale = 0.04
+				opt.Solvers = []string{"TPG", "GT", "MFLOW", "RAND"}
+			}
+			s, err := Run(ctx, name, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(s.Points) == 0 {
+				t.Fatal("no sweep points")
+			}
+			for _, pt := range s.Points {
+				if len(pt.Results) == 0 {
+					t.Fatalf("point %s has no results", pt.Label)
+				}
+				for _, r := range pt.Results {
+					if r.Score < 0 {
+						t.Errorf("point %s solver %s: negative score", pt.Label, r.Name)
+					}
+					if r.Score > pt.Upper+1e-6 {
+						t.Errorf("point %s solver %s: score %v above UPPER %v",
+							pt.Label, r.Name, r.Score, pt.Upper)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestCooperationAwareApproachesWin(t *testing.T) {
+	// The paper's headline shape on the capacity experiment: GT ≥ TPG and
+	// both far above RAND.
+	s, err := Run(context.Background(), ExpCapacity, Options{Rounds: 2, Seed: 4, Scale: 0.15,
+		Solvers: []string{"TPG", "GT", "MFLOW", "RAND"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range s.Points {
+		byName := map[string]float64{}
+		for _, r := range pt.Results {
+			byName[r.Name] = r.Score
+		}
+		if byName["GT"] < byName["TPG"]-1e-9 {
+			t.Errorf("point %s: GT %v below TPG %v", pt.Label, byName["GT"], byName["TPG"])
+		}
+		if byName["TPG"] <= byName["RAND"] {
+			t.Errorf("point %s: TPG %v not above RAND %v", pt.Label, byName["TPG"], byName["RAND"])
+		}
+	}
+}
+
+func TestRenderAndCSV(t *testing.T) {
+	s, err := Run(context.Background(), ExpEpsilon, Options{Rounds: 1, Seed: 5, Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 6", "GT+TSI", "UPPER", "total cooperation score", "running time"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	if err := s.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	csv := buf.String()
+	if !strings.Contains(csv, "epsilon,score,0") || !strings.Contains(csv, "epsilon,seconds,") {
+		t.Errorf("csv missing rows:\n%s", csv)
+	}
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 1+2*len(s.Points) {
+		t.Errorf("csv has %d lines, want %d", len(lines), 1+2*len(s.Points))
+	}
+}
+
+func TestScoreLookup(t *testing.T) {
+	s := &Series{Points: []Point{{Label: "3", Results: []SolverResult{{Name: "GT", Score: 7}}}}}
+	if v, ok := s.Score("3", "GT"); !ok || v != 7 {
+		t.Errorf("Score = %v,%v", v, ok)
+	}
+	if _, ok := s.Score("4", "GT"); ok {
+		t.Error("missing label found")
+	}
+	if _, ok := s.Score("3", "TPG"); ok {
+		t.Error("missing solver found")
+	}
+}
+
+func TestContextCancelledPropagates(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, ExpCapacity, quickOpts()); err == nil {
+		t.Error("cancelled context not propagated")
+	}
+}
+
+func TestProgressWriter(t *testing.T) {
+	var buf bytes.Buffer
+	opt := quickOpts()
+	opt.Progress = &buf
+	if _, err := Run(context.Background(), ExpDeadline, opt); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "done") {
+		t.Error("no progress lines written")
+	}
+}
+
+func TestDistributionExperiment(t *testing.T) {
+	s, err := Run(context.Background(), ExpDistribution,
+		Options{Rounds: 1, Seed: 6, Scale: 0.1, Solvers: []string{"TPG", "RAND"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) != 2 || s.Points[0].Label != "UNIF" || s.Points[1].Label != "SKEW" {
+		t.Fatalf("points: %+v", s.Points)
+	}
+	for _, pt := range s.Points {
+		if tpg, ok := s.Score(pt.Label, "TPG"); !ok || tpg < 0 {
+			t.Errorf("bad TPG score at %s: %v, %v", pt.Label, tpg, ok)
+		}
+	}
+	if got := ExtraExperiments(); len(got) != 4 || got[3] != ExpSources {
+		t.Errorf("ExtraExperiments = %v", got)
+	}
+}
+
+func TestOptGapExperiment(t *testing.T) {
+	s, err := Run(context.Background(), ExpOptGap, Options{Rounds: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) != 4 {
+		t.Fatalf("points: %d", len(s.Points))
+	}
+	for _, pt := range s.Points {
+		exact, ok := s.Score(pt.Label, "OPT*")
+		if !ok {
+			t.Fatalf("no OPT* at %s", pt.Label)
+		}
+		for _, name := range []string{"TPG", "GT", "MFLOW", "RAND"} {
+			sc, ok := s.Score(pt.Label, name)
+			if !ok {
+				t.Fatalf("no %s at %s", name, pt.Label)
+			}
+			if sc > exact+1e-9 {
+				t.Errorf("point %s: %s (%v) beats proven optimum (%v)", pt.Label, name, sc, exact)
+			}
+		}
+		if exact > pt.Upper+1e-9 {
+			t.Errorf("point %s: OPT %v above UPPER %v", pt.Label, exact, pt.Upper)
+		}
+		gt, _ := s.Score(pt.Label, "GT")
+		if exact > 0 && gt/exact < 0.7 {
+			t.Errorf("point %s: GT only %.2f of OPT", pt.Label, gt/exact)
+		}
+	}
+}
+
+func TestAnytimeExperiment(t *testing.T) {
+	s, err := Run(context.Background(), ExpAnytime, Options{Rounds: 2, Seed: 8, Scale: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) == 0 {
+		t.Fatal("no rounds recorded")
+	}
+	last := -1.0
+	for _, pt := range s.Points {
+		score, ok := s.Score(pt.Label, "GT")
+		if !ok {
+			t.Fatalf("no GT at round %s", pt.Label)
+		}
+		if score < last-1e-9 {
+			t.Fatalf("anytime curve decreased at round %s: %v -> %v", pt.Label, last, score)
+		}
+		last = score
+		if score > pt.Upper+1e-6 {
+			t.Fatalf("round %s: score above UPPER", pt.Label)
+		}
+	}
+}
+
+func TestSourcesExperiment(t *testing.T) {
+	s, err := Run(context.Background(), ExpSources,
+		Options{Rounds: 1, Seed: 9, Scale: 0.1, Solvers: []string{"TPG", "GT", "RAND"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) != 3 {
+		t.Fatalf("points: %d", len(s.Points))
+	}
+	for _, pt := range s.Points {
+		tpg, _ := s.Score(pt.Label, "TPG")
+		gt, _ := s.Score(pt.Label, "GT")
+		rnd, _ := s.Score(pt.Label, "RAND")
+		if tpg <= 0 || gt < tpg-1e-9 {
+			t.Errorf("%s: GT %v vs TPG %v", pt.Label, gt, tpg)
+		}
+		// The headline ordering must hold on every data source.
+		if tpg <= rnd {
+			t.Errorf("%s: TPG %v not above RAND %v", pt.Label, tpg, rnd)
+		}
+	}
+}

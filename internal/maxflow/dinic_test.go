@@ -1,0 +1,228 @@
+package maxflow
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTrivial(t *testing.T) {
+	g := NewGraph(2)
+	e := g.AddEdge(0, 1, 5)
+	if got := g.MaxFlow(0, 1); got != 5 {
+		t.Fatalf("MaxFlow = %d, want 5", got)
+	}
+	if got := g.Flow(e); got != 5 {
+		t.Fatalf("Flow = %d, want 5", got)
+	}
+}
+
+func TestSourceEqualsSink(t *testing.T) {
+	g := NewGraph(1)
+	if got := g.MaxFlow(0, 0); got != 0 {
+		t.Errorf("MaxFlow(s,s) = %d", got)
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(0, 1, 10)
+	if got := g.MaxFlow(0, 2); got != 0 {
+		t.Errorf("disconnected MaxFlow = %d", got)
+	}
+}
+
+func TestSeriesParallel(t *testing.T) {
+	// Two parallel paths: 0->1->3 (cap 3) and 0->2->3 (cap 2 bottleneck).
+	g := NewGraph(4)
+	g.AddEdge(0, 1, 3)
+	g.AddEdge(1, 3, 4)
+	g.AddEdge(0, 2, 5)
+	g.AddEdge(2, 3, 2)
+	if got := g.MaxFlow(0, 3); got != 5 {
+		t.Errorf("MaxFlow = %d, want 5", got)
+	}
+}
+
+func TestClassicCLRS(t *testing.T) {
+	// The CLRS figure 26.1 network; max flow 23.
+	g := NewGraph(6)
+	s, v1, v2, v3, v4, tt := 0, 1, 2, 3, 4, 5
+	g.AddEdge(s, v1, 16)
+	g.AddEdge(s, v2, 13)
+	g.AddEdge(v1, v3, 12)
+	g.AddEdge(v2, v1, 4)
+	g.AddEdge(v2, v4, 14)
+	g.AddEdge(v3, v2, 9)
+	g.AddEdge(v3, tt, 20)
+	g.AddEdge(v4, v3, 7)
+	g.AddEdge(v4, tt, 4)
+	if got := g.MaxFlow(s, tt); got != 23 {
+		t.Errorf("MaxFlow = %d, want 23", got)
+	}
+}
+
+func TestBipartiteMatching(t *testing.T) {
+	// 3 workers, 3 tasks. Worker 0 -> tasks {0}, worker 1 -> {0,1},
+	// worker 2 -> {1,2}. Perfect matching of size 3 exists.
+	g := NewGraph(8)
+	s, t0 := 0, 7
+	for w := 0; w < 3; w++ {
+		g.AddEdge(s, 1+w, 1)
+	}
+	for task := 0; task < 3; task++ {
+		g.AddEdge(4+task, t0, 1)
+	}
+	g.AddEdge(1, 4, 1)
+	g.AddEdge(2, 4, 1)
+	g.AddEdge(2, 5, 1)
+	g.AddEdge(3, 5, 1)
+	g.AddEdge(3, 6, 1)
+	if got := g.MaxFlow(s, t0); got != 3 {
+		t.Errorf("matching = %d, want 3", got)
+	}
+}
+
+func TestFlowDecomposition(t *testing.T) {
+	// Check per-edge flow conservation and capacity bounds after MaxFlow.
+	r := rand.New(rand.NewSource(1))
+	n := 12
+	g := NewGraph(n)
+	type rec struct{ u, v, cap, idx int }
+	var recs []rec
+	for i := 0; i < 60; i++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u == v {
+			continue
+		}
+		c := 1 + r.Intn(9)
+		recs = append(recs, rec{u, v, c, g.AddEdge(u, v, c)})
+	}
+	flow := g.MaxFlow(0, n-1)
+	if flow < 0 {
+		t.Fatal("negative flow")
+	}
+	net := make([]int, n)
+	for _, rc := range recs {
+		f := g.Flow(rc.idx)
+		if f < 0 || f > rc.cap {
+			t.Fatalf("edge (%d,%d) flow %d outside [0,%d]", rc.u, rc.v, f, rc.cap)
+		}
+		net[rc.u] -= f
+		net[rc.v] += f
+	}
+	for v := 1; v < n-1; v++ {
+		if net[v] != 0 {
+			t.Fatalf("conservation violated at node %d: net %d", v, net[v])
+		}
+	}
+	if net[n-1] != flow || net[0] != -flow {
+		t.Fatalf("source/sink imbalance: src %d sink %d flow %d", net[0], net[n-1], flow)
+	}
+}
+
+// bruteMaxFlow computes max flow via repeated DFS augmentation on an
+// adjacency-matrix residual graph — the simplest possible reference.
+func bruteMaxFlow(n int, cap [][]int, s, t int) int {
+	res := make([][]int, n)
+	for i := range res {
+		res[i] = append([]int(nil), cap[i]...)
+	}
+	total := 0
+	for {
+		parent := make([]int, n)
+		for i := range parent {
+			parent[i] = -1
+		}
+		parent[s] = s
+		stack := []int{s}
+		for len(stack) > 0 && parent[t] == -1 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for v := 0; v < n; v++ {
+				if res[u][v] > 0 && parent[v] == -1 {
+					parent[v] = u
+					stack = append(stack, v)
+				}
+			}
+		}
+		if parent[t] == -1 {
+			return total
+		}
+		aug := 1 << 30
+		for v := t; v != s; v = parent[v] {
+			if res[parent[v]][v] < aug {
+				aug = res[parent[v]][v]
+			}
+		}
+		for v := t; v != s; v = parent[v] {
+			res[parent[v]][v] -= aug
+			res[v][parent[v]] += aug
+		}
+		total += aug
+	}
+}
+
+func TestRandomAgainstBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + r.Intn(8)
+		capm := make([][]int, n)
+		for i := range capm {
+			capm[i] = make([]int, n)
+		}
+		g := NewGraph(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j && r.Float64() < 0.4 {
+					c := r.Intn(10)
+					capm[i][j] += c
+					g.AddEdge(i, j, c)
+				}
+			}
+		}
+		want := bruteMaxFlow(n, capm, 0, n-1)
+		got := g.MaxFlow(0, n-1)
+		if got != want {
+			t.Fatalf("trial %d (n=%d): Dinic=%d brute=%d", trial, n, got, want)
+		}
+	}
+}
+
+func TestPanics(t *testing.T) {
+	g := NewGraph(2)
+	for _, f := range []func(){
+		func() { g.AddEdge(-1, 0, 1) },
+		func() { g.AddEdge(0, 2, 1) },
+		func() { g.AddEdge(0, 1, -1) },
+		func() { g.MaxFlow(0, 5) },
+		func() { NewGraph(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func BenchmarkBipartiteUnit(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	const workers, tasks = 1000, 500
+	for i := 0; i < b.N; i++ {
+		g := NewGraph(workers + tasks + 2)
+		s, t := workers+tasks, workers+tasks+1
+		for w := 0; w < workers; w++ {
+			g.AddEdge(s, w, 1)
+			for e := 0; e < 10; e++ {
+				g.AddEdge(w, workers+r.Intn(tasks), 1)
+			}
+		}
+		for task := 0; task < tasks; task++ {
+			g.AddEdge(workers+task, t, 5)
+		}
+		g.MaxFlow(s, t)
+	}
+}

@@ -1,0 +1,194 @@
+package meetup
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"casc/internal/assign"
+	"casc/internal/stats"
+)
+
+func smallConfig() Config {
+	return Config{
+		NumUsers:        400,
+		NumGroups:       80,
+		NumEvents:       150,
+		Neighbourhoods:  4,
+		MeanMemberships: 4,
+		Seed:            7,
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	c := Generate(smallConfig())
+	if len(c.UserLocs) != 400 || len(c.EventLocs) != 150 || len(c.UserGroups) != 400 {
+		t.Fatalf("shapes: %d users, %d events, %d membership lists",
+			len(c.UserLocs), len(c.EventLocs), len(c.UserGroups))
+	}
+	for u, groups := range c.UserGroups {
+		for i := 1; i < len(groups); i++ {
+			if groups[i] <= groups[i-1] {
+				t.Fatalf("user %d group list not sorted/unique: %v", u, groups)
+			}
+		}
+		for _, g := range groups {
+			if g < 0 || g >= 80 {
+				t.Fatalf("user %d in nonexistent group %d", u, g)
+			}
+		}
+	}
+	for _, loc := range c.UserLocs {
+		if loc.X < 0 || loc.X > 1 || loc.Y < 0 || loc.Y > 1 {
+			t.Fatalf("user location %v outside unit square", loc)
+		}
+	}
+	for _, loc := range c.EventLocs {
+		if loc.X < 0 || loc.X > 1 || loc.Y < 0 || loc.Y > 1 {
+			t.Fatalf("event location %v outside unit square", loc)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(smallConfig())
+	b := Generate(smallConfig())
+	for u := range a.UserLocs {
+		if a.UserLocs[u] != b.UserLocs[u] {
+			t.Fatal("same seed produced different cities")
+		}
+	}
+	cfg := smallConfig()
+	cfg.Seed = 8
+	c := Generate(cfg)
+	same := true
+	for u := range a.UserLocs {
+		if a.UserLocs[u] != c.UserLocs[u] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical cities")
+	}
+}
+
+func TestGeneratePanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Generate(Config{NumUsers: 0, NumGroups: 1, NumEvents: 1})
+}
+
+func TestMembershipIsHeavyTailedAndNonEmpty(t *testing.T) {
+	c := Generate(smallConfig())
+	withGroups := 0
+	maxGroups := 0
+	for _, g := range c.UserGroups {
+		if len(g) > 0 {
+			withGroups++
+		}
+		if len(g) > maxGroups {
+			maxGroups = len(g)
+		}
+	}
+	if withGroups < 200 {
+		t.Errorf("only %d/400 users joined any group", withGroups)
+	}
+	if maxGroups < 3 {
+		t.Errorf("max memberships %d; expected some power users", maxGroups)
+	}
+}
+
+func TestQualityModelProperties(t *testing.T) {
+	c := Generate(smallConfig())
+	q := c.Quality()
+	if q.NumWorkers() != 400 {
+		t.Fatalf("quality covers %d workers", q.NumWorkers())
+	}
+	// All qualities must lie in [0.25, 0.75]: the paper's blend with
+	// alpha=omega=0.5 bounds the Jaccard term by [0, 0.5].
+	var hi float64
+	for i := 0; i < 100; i++ {
+		for k := i + 1; k < 100; k++ {
+			v := q.Quality(i, k)
+			if v < 0.25-1e-12 || v > 0.75+1e-12 {
+				t.Fatalf("quality(%d,%d) = %v outside [0.25,0.75]", i, k, v)
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if hi <= 0.25+1e-12 {
+		t.Error("no pair shares any group; homophily generator broken")
+	}
+}
+
+func TestSampleProducesSolvableInstances(t *testing.T) {
+	c := Generate(smallConfig())
+	r := stats.NewRNG(1)
+	p := DefaultSample()
+	p.NumWorkers, p.NumTasks = 200, 80
+	in, err := c.Sample(r, p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if in.NumValidPairs() == 0 {
+		t.Fatal("sampled instance has no valid pairs")
+	}
+	a, err := assign.NewGT(assign.GTOptions{}).Solve(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalScore(in) <= 0 {
+		t.Error("GT scored zero on a meetup sample; connectivity too low")
+	}
+	if ub := assign.Upper(in); a.TotalScore(in) > ub+1e-9 {
+		t.Errorf("score %v above UPPER %v", a.TotalScore(in), ub)
+	}
+}
+
+func TestSampleErrors(t *testing.T) {
+	c := Generate(smallConfig())
+	r := stats.NewRNG(2)
+	p := DefaultSample()
+	p.NumWorkers = 100000
+	if _, err := c.Sample(r, p, 0); err == nil {
+		t.Error("oversampling workers accepted")
+	}
+	p = DefaultSample()
+	p.NumTasks = 100000
+	if _, err := c.Sample(r, p, 0); err == nil {
+		t.Error("oversampling tasks accepted")
+	}
+	p = DefaultSample()
+	p.NumWorkers, p.NumTasks = 50, 20
+	p.B = 1
+	if _, err := c.Sample(r, p, 0); err == nil {
+		t.Error("B=1 accepted")
+	}
+}
+
+func TestDefaultsMirrorPaperSlice(t *testing.T) {
+	cfg := Default()
+	if cfg.NumUsers != 3525 || cfg.NumEvents != 1282 {
+		t.Errorf("default city %d users / %d events, want the paper's 3525/1282",
+			cfg.NumUsers, cfg.NumEvents)
+	}
+	sp := DefaultSample()
+	if sp.NumWorkers != 1000 || sp.NumTasks != 500 || sp.Capacity != 5 || sp.B != 3 {
+		t.Errorf("default sample params %+v do not match Table II", sp)
+	}
+	if math.Abs(sp.RemainingTime-3) > 1e-12 {
+		t.Errorf("default τ = %v", sp.RemainingTime)
+	}
+}

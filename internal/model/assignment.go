@@ -1,0 +1,191 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Assignment is a set of valid worker-and-task pairs satisfying the CA-SC
+// constraints (Definition 4): each worker serves at most one task and each
+// task holds at most a_j workers.
+type Assignment struct {
+	// WorkerTask[w] is the task index worker w serves, or Unassigned.
+	WorkerTask []int
+	// TaskWorkers[t] lists the worker indices assigned to task t.
+	TaskWorkers [][]int
+}
+
+// Unassigned marks a worker with no task.
+const Unassigned = -1
+
+// NewAssignment returns an empty assignment for the instance.
+func NewAssignment(in *Instance) *Assignment {
+	a := &Assignment{
+		WorkerTask:  make([]int, len(in.Workers)),
+		TaskWorkers: make([][]int, len(in.Tasks)),
+	}
+	for i := range a.WorkerTask {
+		a.WorkerTask[i] = Unassigned
+	}
+	return a
+}
+
+// Assign pairs worker w with task t. It panics if w is already assigned —
+// use Move to change tasks.
+func (a *Assignment) Assign(w, t int) {
+	if a.WorkerTask[w] != Unassigned {
+		panic(fmt.Sprintf("model: worker %d already assigned to task %d", w, a.WorkerTask[w]))
+	}
+	a.WorkerTask[w] = t
+	a.TaskWorkers[t] = append(a.TaskWorkers[t], w)
+}
+
+// Unassign removes worker w from its task, if any.
+func (a *Assignment) Unassign(w int) {
+	t := a.WorkerTask[w]
+	if t == Unassigned {
+		return
+	}
+	a.WorkerTask[w] = Unassigned
+	ws := a.TaskWorkers[t]
+	for i, x := range ws {
+		if x == w {
+			ws[i] = ws[len(ws)-1]
+			a.TaskWorkers[t] = ws[:len(ws)-1]
+			return
+		}
+	}
+	panic(fmt.Sprintf("model: assignment inconsistent for worker %d", w))
+}
+
+// Move reassigns worker w to task t (Unassign + Assign).
+func (a *Assignment) Move(w, t int) {
+	a.Unassign(w)
+	a.Assign(w, t)
+}
+
+// TaskOf returns the task of worker w, or Unassigned.
+func (a *Assignment) TaskOf(w int) int { return a.WorkerTask[w] }
+
+// NumAssigned returns the number of workers with a task.
+func (a *Assignment) NumAssigned() int {
+	n := 0
+	for _, t := range a.WorkerTask {
+		if t != Unassigned {
+			n++
+		}
+	}
+	return n
+}
+
+// Pair is one ⟨worker, task⟩ element of an assignment.
+type Pair struct {
+	Worker, Task int
+}
+
+// Pairs returns the assignment as a sorted pair list.
+func (a *Assignment) Pairs() []Pair {
+	var ps []Pair
+	for w, t := range a.WorkerTask {
+		if t != Unassigned {
+			ps = append(ps, Pair{Worker: w, Task: t})
+		}
+	}
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].Task != ps[j].Task {
+			return ps[i].Task < ps[j].Task
+		}
+		return ps[i].Worker < ps[j].Worker
+	})
+	return ps
+}
+
+// Clone returns a deep copy.
+func (a *Assignment) Clone() *Assignment {
+	c := &Assignment{
+		WorkerTask:  append([]int(nil), a.WorkerTask...),
+		TaskWorkers: make([][]int, len(a.TaskWorkers)),
+	}
+	for t, ws := range a.TaskWorkers {
+		c.TaskWorkers[t] = append([]int(nil), ws...)
+	}
+	return c
+}
+
+// TotalScore computes the overall cooperation quality revenue Q(T) of
+// Equation 3: Σ_j Q(W_j), with Q(W_j) = 0 for tasks holding fewer than B
+// workers.
+func (a *Assignment) TotalScore(in *Instance) float64 {
+	var total float64
+	for t, ws := range a.TaskWorkers {
+		total += in.GroupQuality(ws, in.Tasks[t].Capacity)
+	}
+	return total
+}
+
+// CompletedTasks returns the number of tasks with at least B workers.
+func (a *Assignment) CompletedTasks(in *Instance) int {
+	n := 0
+	for _, ws := range a.TaskWorkers {
+		if len(ws) >= in.B {
+			n++
+		}
+	}
+	return n
+}
+
+// Validate verifies every CA-SC constraint of Definition 4 against the
+// instance: consistency of the two redundant maps, validity of every pair
+// (working area + deadline), and the capacity bound. It returns the first
+// violation found.
+func (a *Assignment) Validate(in *Instance) error {
+	if len(a.WorkerTask) != len(in.Workers) || len(a.TaskWorkers) != len(in.Tasks) {
+		return fmt.Errorf("model: assignment shape mismatch")
+	}
+	seen := make(map[int]int) // worker -> task via TaskWorkers
+	for t, ws := range a.TaskWorkers {
+		if len(ws) > in.Tasks[t].Capacity {
+			return fmt.Errorf("model: task %d holds %d workers, capacity %d", t, len(ws), in.Tasks[t].Capacity)
+		}
+		for _, w := range ws {
+			if prev, dup := seen[w]; dup {
+				return fmt.Errorf("model: worker %d in tasks %d and %d", w, prev, t)
+			}
+			seen[w] = t
+			if !ValidTravel(in.Workers[w], in.Tasks[t], in.Now, in.Travel) {
+				return fmt.Errorf("model: invalid pair ⟨w%d, t%d⟩", w, t)
+			}
+		}
+	}
+	for w, t := range a.WorkerTask {
+		if t == Unassigned {
+			if _, ok := seen[w]; ok {
+				return fmt.Errorf("model: worker %d in TaskWorkers but marked unassigned", w)
+			}
+			continue
+		}
+		if seen[w] != t {
+			return fmt.Errorf("model: worker %d maps to task %d but TaskWorkers says %d", w, t, seen[w])
+		}
+		delete(seen, w)
+	}
+	if len(seen) != 0 {
+		return fmt.Errorf("model: %d workers present only in TaskWorkers", len(seen))
+	}
+	return nil
+}
+
+// String summarizes the assignment for logs: pair count, completed tasks,
+// and the first few pairs.
+func (a *Assignment) String() string {
+	pairs := a.Pairs()
+	s := fmt.Sprintf("Assignment{%d pairs", len(pairs))
+	for i, p := range pairs {
+		if i == 6 {
+			s += fmt.Sprintf(" …(+%d)", len(pairs)-6)
+			break
+		}
+		s += fmt.Sprintf(" w%d→t%d", p.Worker, p.Task)
+	}
+	return s + "}"
+}

@@ -1,0 +1,92 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+
+	"casc/internal/geo"
+	"casc/internal/grid"
+	"casc/internal/rtree"
+)
+
+// IndexKind selects the spatial index used to retrieve the candidate tasks
+// of each worker (Algorithm 1, lines 4-5).
+type IndexKind int
+
+const (
+	// IndexRTree uses an STR-bulk-loaded R-tree (the paper's choice).
+	IndexRTree IndexKind = iota
+	// IndexGrid uses a uniform grid (ablation alternative).
+	IndexGrid
+	// IndexLinear scans all tasks per worker (ablation baseline).
+	IndexLinear
+)
+
+// String implements fmt.Stringer.
+func (k IndexKind) String() string {
+	switch k {
+	case IndexRTree:
+		return "rtree"
+	case IndexGrid:
+		return "grid"
+	case IndexLinear:
+		return "linear"
+	default:
+		return fmt.Sprintf("IndexKind(%d)", int(k))
+	}
+}
+
+// BuildCandidates populates in.WorkerCand and in.TaskCand: for every worker
+// it runs a circular range query with radius r_i centered at l_i over the
+// task locations, then filters by the deadline-reachability condition of
+// Definition 3. Candidate lists are sorted ascending.
+func (in *Instance) BuildCandidates(kind IndexKind) {
+	nW, nT := len(in.Workers), len(in.Tasks)
+	in.WorkerCand = make([][]int, nW)
+	in.TaskCand = make([][]int, nT)
+
+	var query func(c geo.Point, rad float64, dst []int) []int
+	switch kind {
+	case IndexRTree:
+		items := make([]rtree.Item, nT)
+		for j, t := range in.Tasks {
+			items[j] = rtree.Item{Rect: geo.PointRect(t.Loc), ID: j}
+		}
+		tr := rtree.Bulk(items, 0)
+		query = tr.SearchCircle
+	case IndexGrid:
+		g := grid.ForCount(nT)
+		for j, t := range in.Tasks {
+			g.Insert(t.Loc, j)
+		}
+		query = g.SearchCircle
+	case IndexLinear:
+		query = func(c geo.Point, rad float64, dst []int) []int {
+			for j, t := range in.Tasks {
+				if geo.InCircle(t.Loc, c, rad) {
+					dst = append(dst, j)
+				}
+			}
+			return dst
+		}
+	default:
+		panic(fmt.Sprintf("model: unknown index kind %d", kind))
+	}
+
+	var buf []int
+	for i, w := range in.Workers {
+		buf = query(w.Loc, w.Radius, buf[:0])
+		var cand []int
+		for _, j := range buf {
+			if ValidTravel(w, in.Tasks[j], in.Now, in.Travel) {
+				cand = append(cand, j)
+			}
+		}
+		sort.Ints(cand)
+		in.WorkerCand[i] = cand
+		for _, j := range cand {
+			in.TaskCand[j] = append(in.TaskCand[j], i)
+		}
+	}
+	// TaskCand lists are built in worker order, already ascending.
+}

@@ -1,0 +1,67 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"casc/internal/coop"
+)
+
+// FuzzGroupScore drives the incremental GroupScore accumulator through an
+// arbitrary join/leave/swap sequence and cross-checks Q against the direct
+// Equation 2 computation after every step. Run with
+// `go test -fuzz=FuzzGroupScore ./internal/model` to explore.
+func FuzzGroupScore(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5})
+	f.Add([]byte{0, 0, 1, 1, 2, 2, 3, 3})
+	f.Add([]byte{10, 20, 30, 40, 50, 60, 70, 80, 90, 100})
+	f.Add([]byte{})
+
+	const n = 8
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q := coop.NewMatrix(n)
+		// Deterministic quality values derived from the pair indices.
+		for i := 0; i < n; i++ {
+			for k := i + 1; k < n; k++ {
+				q.Set(i, k, float64((i*7+k*13)%100)/100)
+			}
+		}
+		in := &Instance{Quality: q, B: 2}
+		g := in.NewGroupScore(5)
+		member := make([]bool, n)
+		count := 0
+		for _, b := range data {
+			w := int(b) % n
+			if member[w] {
+				delta := g.LeaveDelta(w)
+				before := g.Q()
+				g.Leave(w)
+				member[w] = false
+				count--
+				if math.Abs((before-g.Q())-delta) > 1e-9 {
+					t.Fatalf("LeaveDelta inconsistent: %v vs %v", before-g.Q(), delta)
+				}
+			} else if count < 5 {
+				delta := g.JoinDelta(w)
+				before := g.Q()
+				g.Join(w)
+				member[w] = true
+				count++
+				if math.Abs((g.Q()-before)-delta) > 1e-9 {
+					t.Fatalf("JoinDelta inconsistent: %v vs %v", g.Q()-before, delta)
+				}
+			}
+			// Cross-check against the direct computation.
+			var ws []int
+			for i, m := range member {
+				if m {
+					ws = append(ws, i)
+				}
+			}
+			want := in.GroupQuality(ws, 5)
+			if math.Abs(g.Q()-want) > 1e-9 {
+				t.Fatalf("incremental Q %v, direct %v (group %v)", g.Q(), want, ws)
+			}
+		}
+	})
+}

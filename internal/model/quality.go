@@ -1,0 +1,209 @@
+package model
+
+// This file implements the cooperation quality revenue of Equation 2, the
+// overall objective of Equation 3, and the quality increase of Equation 4,
+// plus an incremental per-task accumulator (GroupScore) that lets the
+// solvers evaluate join/leave deltas in O(|W_j|) quality lookups instead of
+// O(|W_j|^2).
+
+// GroupQuality computes Q(W) for the worker set ws assigned to a task with
+// the given capacity (Equation 2):
+//
+//	Q(W) = 0                                   if |W| < B
+//	Q(W) = Σ_i Σ_{k≠i} q_i(w_k) / (min(|W|,cap)−1)   otherwise
+//
+// ws holds worker slice positions. The ordered-pair sum is computed as
+// written in the paper; for symmetric models it equals twice the unordered
+// sum.
+func (in *Instance) GroupQuality(ws []int, capacity int) float64 {
+	n := len(ws)
+	if n < in.B {
+		return 0
+	}
+	denom := n
+	if capacity < denom {
+		denom = capacity
+	}
+	if denom < 2 {
+		// A single-worker "group" has no pairs; with B ≥ 2 this is
+		// unreachable, but guard the division anyway.
+		return 0
+	}
+	var sum float64
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a != b {
+				sum += in.Quality.Quality(ws[a], ws[b])
+			}
+		}
+	}
+	return sum / float64(denom-1)
+}
+
+// WorkerAvgQuality returns q_i(W_j), the average quality score of worker w
+// within group ws on a task with the given capacity:
+// Σ_{k≠i} q_i(w_k) / (min(|W_j|,cap)−1). It returns 0 when |ws| < B
+// (no revenue below the minimum group size).
+func (in *Instance) WorkerAvgQuality(w int, ws []int, capacity int) float64 {
+	n := len(ws)
+	if n < in.B {
+		return 0
+	}
+	denom := n
+	if capacity < denom {
+		denom = capacity
+	}
+	if denom < 2 {
+		return 0
+	}
+	var sum float64
+	for _, k := range ws {
+		if k != w {
+			sum += in.Quality.Quality(w, k)
+		}
+	}
+	return sum / float64(denom-1)
+}
+
+// DeltaQuality computes ΔQ(w, t) of Equation 4 for worker w joining the
+// worker set ws (which must NOT already contain w) of a task with the given
+// capacity: Q(W ∪ {w}) − Q(W).
+func (in *Instance) DeltaQuality(w int, ws []int, capacity int) float64 {
+	with := make([]int, len(ws)+1)
+	copy(with, ws)
+	with[len(ws)] = w
+	return in.GroupQuality(with, capacity) - in.GroupQuality(ws, capacity)
+}
+
+// GroupScore incrementally tracks the ordered-pair quality sum S of one
+// task's worker set so Q and join/leave deltas cost O(|W|) instead of
+// O(|W|^2). It is the workhorse of the GT solver's inner loop.
+type GroupScore struct {
+	in       *Instance
+	capacity int
+	members  []int
+	pairSum  float64 // Σ_i Σ_{k≠i} q_i(w_k) over current members
+}
+
+// NewGroupScore returns an empty accumulator for a task with the given
+// capacity.
+func (in *Instance) NewGroupScore(capacity int) *GroupScore {
+	return &GroupScore{in: in, capacity: capacity}
+}
+
+// Members returns the current member slice (not a copy; do not mutate).
+func (g *GroupScore) Members() []int { return g.members }
+
+// Len returns the number of members.
+func (g *GroupScore) Len() int { return len(g.members) }
+
+// Capacity returns the task capacity a_j.
+func (g *GroupScore) Capacity() int { return g.capacity }
+
+// Contains reports whether worker w is a member.
+func (g *GroupScore) Contains(w int) bool {
+	for _, m := range g.members {
+		if m == w {
+			return true
+		}
+	}
+	return false
+}
+
+// crossSum returns Σ_{k ∈ members} (q_w(k) + q_k(w)), the ordered-pair mass
+// worker w adds to (or removes from) the group.
+func (g *GroupScore) crossSum(w int) float64 {
+	var s float64
+	for _, m := range g.members {
+		if m != w {
+			s += g.in.Quality.Quality(w, m) + g.in.Quality.Quality(m, w)
+		}
+	}
+	return s
+}
+
+func (g *GroupScore) qOf(n int, pairSum float64) float64 {
+	if n < g.in.B {
+		return 0
+	}
+	denom := n
+	if g.capacity < denom {
+		denom = g.capacity
+	}
+	if denom < 2 {
+		return 0
+	}
+	return pairSum / float64(denom-1)
+}
+
+// Q returns the current Q(W) per Equation 2.
+func (g *GroupScore) Q() float64 { return g.qOf(len(g.members), g.pairSum) }
+
+// JoinDelta returns Q(W ∪ {w}) − Q(W) without mutating the group. w must
+// not be a member.
+func (g *GroupScore) JoinDelta(w int) float64 {
+	newSum := g.pairSum + g.crossSum(w)
+	return g.qOf(len(g.members)+1, newSum) - g.Q()
+}
+
+// LeaveDelta returns Q(W) − Q(W \ {w}), i.e. ΔQ(w, t) of Equation 4, for a
+// current member w.
+func (g *GroupScore) LeaveDelta(w int) float64 {
+	newSum := g.pairSum - g.crossSum(w)
+	return g.Q() - g.qOf(len(g.members)-1, newSum)
+}
+
+// SwapDelta returns the change in Q when member out is replaced by
+// non-member in: Q(W \ {out} ∪ {in}) − Q(W).
+func (g *GroupScore) SwapDelta(out, in int) float64 {
+	sum := g.pairSum - g.crossSum(out)
+	// crossSum of `in` against members-without-out.
+	var cs float64
+	for _, m := range g.members {
+		if m != out && m != in {
+			cs += g.in.Quality.Quality(in, m) + g.in.Quality.Quality(m, in)
+		}
+	}
+	sum += cs
+	return g.qOf(len(g.members), sum) - g.Q()
+}
+
+// Join adds worker w. It panics if w is already a member or the group is at
+// capacity — callers decide eviction policy explicitly via Leave/Join.
+func (g *GroupScore) Join(w int) {
+	if g.Contains(w) {
+		panic("model: worker already in group")
+	}
+	if len(g.members) >= g.capacity {
+		panic("model: group at capacity")
+	}
+	g.pairSum += g.crossSum(w)
+	g.members = append(g.members, w)
+}
+
+// Leave removes member w. It panics if w is not a member.
+func (g *GroupScore) Leave(w int) {
+	for i, m := range g.members {
+		if m == w {
+			g.members[i] = g.members[len(g.members)-1]
+			g.members = g.members[:len(g.members)-1]
+			g.pairSum -= g.crossSum(w)
+			return
+		}
+	}
+	panic("model: worker not in group")
+}
+
+// Recompute rebuilds the pair sum from scratch; used by tests to verify the
+// incremental bookkeeping.
+func (g *GroupScore) Recompute() {
+	var sum float64
+	for a := 0; a < len(g.members); a++ {
+		for b := 0; b < len(g.members); b++ {
+			if a != b {
+				sum += g.in.Quality.Quality(g.members[a], g.members[b])
+			}
+		}
+	}
+	g.pairSum = sum
+}

@@ -1,0 +1,180 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"casc/internal/coop"
+)
+
+// randGroupInstance builds an instance with a random dense quality matrix.
+func randGroupInstance(r *rand.Rand, n, b int) *Instance {
+	q := coop.NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for k := i + 1; k < n; k++ {
+			q.Set(i, k, r.Float64())
+		}
+	}
+	return &Instance{Quality: q, B: b}
+}
+
+func TestGroupQualityPermutationInvariant(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	in := randGroupInstance(r, 10, 2)
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		size := 2 + rr.Intn(6)
+		ws := rr.Perm(10)[:size]
+		q1 := in.GroupQuality(ws, 8)
+		shuffled := append([]int(nil), ws...)
+		rr.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		q2 := in.GroupQuality(shuffled, 8)
+		return math.Abs(q1-q2) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Errorf("GroupQuality depends on member order: %v", err)
+	}
+}
+
+func TestGroupQualityBounds(t *testing.T) {
+	// With qualities in [0,1] and |W| ≤ cap, Q(W) ∈ [0, 2·C(|W|,2)/(|W|−1)]
+	// = [0, |W|] (ordered-pair sum ≤ |W|(|W|−1), denominator |W|−1).
+	r := rand.New(rand.NewSource(32))
+	in := randGroupInstance(r, 12, 2)
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		size := 2 + rr.Intn(8)
+		ws := rr.Perm(12)[:size]
+		q := in.GroupQuality(ws, size)
+		return q >= 0 && q <= float64(size)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Errorf("GroupQuality out of bounds: %v", err)
+	}
+}
+
+func TestGroupQualityMonotoneUnderQualityIncrease(t *testing.T) {
+	// Raising one pair's quality can only raise the group score.
+	r := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 50; trial++ {
+		n := 6
+		q := coop.NewMatrix(n)
+		vals := make(map[[2]int]float64)
+		for i := 0; i < n; i++ {
+			for k := i + 1; k < n; k++ {
+				v := r.Float64() * 0.8
+				q.Set(i, k, v)
+				vals[[2]int{i, k}] = v
+			}
+		}
+		in := &Instance{Quality: q, B: 2}
+		ws := []int{0, 1, 2, 3}
+		before := in.GroupQuality(ws, 4)
+		q.Set(0, 1, vals[[2]int{0, 1}]+0.1)
+		after := in.GroupQuality(ws, 4)
+		if after < before-1e-12 {
+			t.Fatalf("trial %d: raising q(0,1) lowered Q: %v -> %v", trial, before, after)
+		}
+	}
+}
+
+func TestGroupQualityAdditionOfPerfectWorker(t *testing.T) {
+	// Adding a worker with quality 1 to everyone never lowers Q when the
+	// group has room (its average contribution is maximal).
+	n := 8
+	q := coop.NewMatrix(n)
+	r := rand.New(rand.NewSource(34))
+	for i := 1; i < n; i++ {
+		for k := i + 1; k < n; k++ {
+			q.Set(i, k, r.Float64())
+		}
+	}
+	for k := 1; k < n; k++ {
+		q.Set(0, k, 1) // worker 0 is the universal good colleague
+	}
+	in := &Instance{Quality: q, B: 2}
+	for trial := 0; trial < 30; trial++ {
+		size := 2 + r.Intn(5)
+		perm := r.Perm(n - 1)
+		ws := make([]int, size)
+		for i := range ws {
+			ws[i] = perm[i] + 1
+		}
+		before := in.GroupQuality(ws, size+1)
+		after := in.GroupQuality(append(ws, 0), size+1)
+		if after < before-1e-9 {
+			t.Fatalf("adding a perfect worker lowered Q: %v -> %v (group %v)", before, after, ws)
+		}
+	}
+}
+
+func TestCandidatesMonotoneInRadius(t *testing.T) {
+	// Growing a worker's radius can only grow its candidate set.
+	r := rand.New(rand.NewSource(35))
+	in := randomInstance(r, 40, 30)
+	in.BuildCandidates(IndexRTree)
+	small := make([][]int, len(in.Workers))
+	for i, c := range in.WorkerCand {
+		small[i] = append([]int(nil), c...)
+	}
+	for i := range in.Workers {
+		in.Workers[i].Radius *= 2
+	}
+	in.BuildCandidates(IndexRTree)
+	for i := range in.Workers {
+		set := map[int]bool{}
+		for _, t0 := range in.WorkerCand[i] {
+			set[t0] = true
+		}
+		for _, t0 := range small[i] {
+			if !set[t0] {
+				t.Fatalf("worker %d lost candidate %d after radius grew", i, t0)
+			}
+		}
+	}
+}
+
+func TestCandidatesMonotoneInDeadline(t *testing.T) {
+	r := rand.New(rand.NewSource(36))
+	in := randomInstance(r, 40, 30)
+	in.BuildCandidates(IndexGrid)
+	small := make([]int, len(in.Workers))
+	for i, c := range in.WorkerCand {
+		small[i] = len(c)
+	}
+	for j := range in.Tasks {
+		in.Tasks[j].Deadline += 10
+	}
+	in.BuildCandidates(IndexGrid)
+	for i, c := range in.WorkerCand {
+		if len(c) < small[i] {
+			t.Fatalf("worker %d lost candidates after deadlines extended", i)
+		}
+	}
+}
+
+func TestTotalScoreIsSumOfGroupQualities(t *testing.T) {
+	r := rand.New(rand.NewSource(37))
+	in := randomInstance(r, 30, 10)
+	in.BuildCandidates(IndexLinear)
+	a := NewAssignment(in)
+	// Assign random valid pairs respecting capacity.
+	for w := range in.Workers {
+		if len(in.WorkerCand[w]) == 0 || r.Float64() < 0.3 {
+			continue
+		}
+		t0 := in.WorkerCand[w][r.Intn(len(in.WorkerCand[w]))]
+		if len(a.TaskWorkers[t0]) < in.Tasks[t0].Capacity {
+			a.Assign(w, t0)
+		}
+	}
+	var sum float64
+	for t0, ws := range a.TaskWorkers {
+		sum += in.GroupQuality(ws, in.Tasks[t0].Capacity)
+	}
+	if math.Abs(sum-a.TotalScore(in)) > 1e-9 {
+		t.Errorf("TotalScore %v != Σ GroupQuality %v", a.TotalScore(in), sum)
+	}
+}

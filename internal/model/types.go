@@ -1,0 +1,153 @@
+// Package model defines the CA-SC problem exactly as in §II of the paper:
+// cooperation-aware moving workers (Definition 1), spatial tasks
+// (Definition 2), valid worker-and-task pairs (Definition 3), the
+// cooperation quality revenue Q(W_j) of Equation 2, the overall objective
+// Q(T) of Equation 3, and the quality increase ΔQ(w_i, t_j) of Equation 4.
+// It also builds the per-worker candidate task sets via a pluggable spatial
+// index (Algorithm 1 lines 4-5).
+package model
+
+import (
+	"fmt"
+
+	"casc/internal/geo"
+)
+
+// Worker is a cooperation-aware moving worker (Definition 1). Workers are
+// addressed by their position in the Instance's slice; ID records a stable
+// external identifier for datasets and logs.
+type Worker struct {
+	ID     int
+	Loc    geo.Point // l_i: current location
+	Speed  float64   // v_i: moving speed (space units per time unit)
+	Radius float64   // r_i: working-area radius
+	Arrive float64   // ϕ_i: timestamp the worker came to the system
+}
+
+// Task is a spatial task (Definition 2).
+type Task struct {
+	ID       int
+	Loc      geo.Point // l_j: required location
+	Capacity int       // a_j: maximum number of workers
+	Created  float64   // ϕ_j: creation timestamp
+	Deadline float64   // τ_j: absolute deadline
+}
+
+// RemainingTime returns τ_j − now, the slack a worker has to reach the task.
+func (t Task) RemainingTime(now float64) float64 { return t.Deadline - now }
+
+// Valid reports whether ⟨w, t⟩ is a valid worker-and-task pair at time now
+// (Definition 3): the task was created before the worker is considered, the
+// task location lies in the worker's working area, and the worker can reach
+// it before the deadline: d(l_i, l_j)/v_i ≤ τ_j − now.
+func Valid(w Worker, t Task, now float64) bool {
+	return ValidTravel(w, t, now, nil)
+}
+
+// TravelFunc returns the travel time for a worker to reach a task; it
+// replaces the default Euclidean d(l_i,l_j)/v_i when a more realistic
+// movement model (e.g. a road network, see package roadnet) is in play.
+// Implementations must be ≥ the Euclidean time divided by any speed-up the
+// network could offer — in this repository they are always ≥ Euclidean,
+// since roads only detour.
+type TravelFunc func(w Worker, t Task) float64
+
+// ValidTravel is Valid with a custom travel-time model (nil falls back to
+// Euclidean). The working-area constraint stays Euclidean — it models the
+// worker's *preference* disc, not reachability.
+func ValidTravel(w Worker, t Task, now float64, travel TravelFunc) bool {
+	if t.Created > now || w.Arrive > now {
+		return false
+	}
+	slack := t.Deadline - now
+	if slack < 0 {
+		return false
+	}
+	d := w.Loc.Dist(t.Loc)
+	if d > w.Radius {
+		return false
+	}
+	if travel == nil {
+		return geo.TravelTime(w.Loc, t.Loc, w.Speed) <= slack
+	}
+	return travel(w, t) <= slack
+}
+
+// Instance is one batch of the CA-SC problem: the available workers and
+// tasks at timestamp Now, their pairwise cooperation qualities, and the
+// minimum group size B. Candidate sets are built by BuildCandidates.
+type Instance struct {
+	Workers []Worker
+	Tasks   []Task
+	// Quality yields q_i(w_k) by worker slice positions.
+	Quality QualityModel
+	// B is the least number of workers required to finish any task.
+	B int
+	// Now is the batch timestamp ϕ.
+	Now float64
+
+	// Travel optionally overrides the Euclidean travel-time model used for
+	// the deadline-reachability check of Definition 3 (nil: Euclidean).
+	Travel TravelFunc
+
+	// WorkerCand[w] lists the indices of tasks valid for worker w,
+	// ascending. TaskCand[t] is the reverse mapping. Both are populated by
+	// BuildCandidates.
+	WorkerCand [][]int
+	TaskCand   [][]int
+}
+
+// QualityModel mirrors coop.Model; it is re-declared here so model does not
+// import coop (keeping the dependency graph acyclic: coop and model are both
+// leaves, assign composes them).
+type QualityModel interface {
+	Quality(i, k int) float64
+	NumWorkers() int
+}
+
+// Validate checks structural sanity of the instance: positive B, capacities
+// ≥ B would be required for a task to ever complete but capacities ≥ 1 are
+// accepted (such tasks simply can't be finished), non-negative speeds and
+// radii, and a quality model covering all workers.
+func (in *Instance) Validate() error {
+	if in.B < 1 {
+		return fmt.Errorf("model: B = %d, want ≥ 1", in.B)
+	}
+	if in.Quality == nil {
+		return fmt.Errorf("model: nil quality model")
+	}
+	if n := in.Quality.NumWorkers(); n < len(in.Workers) {
+		return fmt.Errorf("model: quality model covers %d workers, instance has %d", n, len(in.Workers))
+	}
+	for i, w := range in.Workers {
+		if w.Speed < 0 || w.Radius < 0 {
+			return fmt.Errorf("model: worker %d has negative speed/radius", i)
+		}
+	}
+	for j, t := range in.Tasks {
+		if t.Capacity < 1 {
+			return fmt.Errorf("model: task %d capacity %d < 1", j, t.Capacity)
+		}
+	}
+	return nil
+}
+
+// NumValidPairs returns the total number of valid worker-and-task pairs
+// (after BuildCandidates).
+func (in *Instance) NumValidPairs() int {
+	n := 0
+	for _, c := range in.WorkerCand {
+		n += len(c)
+	}
+	return n
+}
+
+// String implements fmt.Stringer for logs.
+func (w Worker) String() string {
+	return fmt.Sprintf("Worker{%d @%s v=%.3f r=%.3f}", w.ID, w.Loc, w.Speed, w.Radius)
+}
+
+// String implements fmt.Stringer for logs.
+func (t Task) String() string {
+	return fmt.Sprintf("Task{%d @%s cap=%d due=%.2f}", t.ID, t.Loc, t.Capacity, t.Deadline)
+}

@@ -1,0 +1,171 @@
+// Package online implements the *online* server-assigned-tasks mode the
+// paper contrasts with its batch-based mode (§VII: "in the online task
+// assignment mode [25], [28], the spatial crowdsourcing servers need to
+// immediately assign valid tasks to workers upon the reaching of workers in
+// a one-by-one style"). Workers arrive one at a time and must be assigned
+// immediately and irrevocably; no future knowledge is available.
+//
+// The package exists to quantify what the paper's batch mode buys: on the
+// same instance, batch GT re-optimizes within the whole batch while online
+// policies commit greedily, so the online score is a lower bound that the
+// tests pin against the batch solvers.
+package online
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"casc/internal/model"
+)
+
+// Policy decides, for one arriving worker, which task to join (a candidate
+// index into in.WorkerCand[w]'s values, i.e. a task index) or
+// model.Unassigned. groups expose the current group composition; the
+// policy must not mutate them.
+type Policy interface {
+	Name() string
+	Choose(in *model.Instance, w int, groups []*model.GroupScore) int
+}
+
+// Run streams the instance's workers in arrival order (ties by index)
+// through the policy and returns the resulting assignment. Chosen tasks
+// must have spare capacity; Run validates the policy's choice and treats
+// invalid choices as "unassigned".
+func Run(in *model.Instance, p Policy) *model.Assignment {
+	order := make([]int, len(in.Workers))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return in.Workers[order[a]].Arrive < in.Workers[order[b]].Arrive
+	})
+	groups := make([]*model.GroupScore, len(in.Tasks))
+	for t := range groups {
+		groups[t] = in.NewGroupScore(in.Tasks[t].Capacity)
+	}
+	a := model.NewAssignment(in)
+	for _, w := range order {
+		t := p.Choose(in, w, groups)
+		if t == model.Unassigned {
+			continue
+		}
+		if !validChoice(in, w, t) || groups[t].Len() >= groups[t].Capacity() {
+			continue
+		}
+		groups[t].Join(w)
+		a.Assign(w, t)
+	}
+	return a
+}
+
+func validChoice(in *model.Instance, w, t int) bool {
+	if t < 0 || t >= len(in.Tasks) {
+		return false
+	}
+	for _, c := range in.WorkerCand[w] {
+		if c == t {
+			return true
+		}
+	}
+	return false
+}
+
+// GreedyDelta joins the valid task with the maximum immediate quality
+// increase ΔQ; when no task yields a positive ΔQ (groups still below B),
+// it joins the fullest valid task so groups keep forming.
+type GreedyDelta struct{}
+
+// Name implements Policy.
+func (GreedyDelta) Name() string { return "online-greedy" }
+
+// Choose implements Policy.
+func (GreedyDelta) Choose(in *model.Instance, w int, groups []*model.GroupScore) int {
+	bestT, bestGain := model.Unassigned, 0.0
+	for _, t := range in.WorkerCand[w] {
+		g := groups[t]
+		if g.Len() >= g.Capacity() {
+			continue
+		}
+		if gain := g.JoinDelta(w); gain > bestGain {
+			bestT, bestGain = t, gain
+		}
+	}
+	if bestT != model.Unassigned {
+		return bestT
+	}
+	bestLen := -1
+	for _, t := range in.WorkerCand[w] {
+		g := groups[t]
+		if g.Len() >= g.Capacity() && g.Len() != 0 {
+			continue
+		}
+		if g.Len() < g.Capacity() && g.Len() > bestLen {
+			bestT, bestLen = t, g.Len()
+		}
+	}
+	return bestT
+}
+
+// ThresholdDelta joins only when the immediate ΔQ clears Theta, otherwise
+// falls back to group-forming like GreedyDelta. Higher thresholds hold out
+// for better matches at the risk of never placing the worker.
+type ThresholdDelta struct {
+	Theta float64
+}
+
+// Name implements Policy.
+func (p ThresholdDelta) Name() string { return fmt.Sprintf("online-threshold(%.2f)", p.Theta) }
+
+// Choose implements Policy.
+func (p ThresholdDelta) Choose(in *model.Instance, w int, groups []*model.GroupScore) int {
+	bestT, bestGain := model.Unassigned, p.Theta
+	for _, t := range in.WorkerCand[w] {
+		g := groups[t]
+		if g.Len() >= g.Capacity() {
+			continue
+		}
+		if gain := g.JoinDelta(w); gain >= bestGain {
+			bestT, bestGain = t, gain
+		}
+	}
+	if bestT != model.Unassigned {
+		return bestT
+	}
+	// Group-forming fallback only when nothing has reached B yet for this
+	// worker: join the fullest open valid task below B.
+	bestLen := -1
+	for _, t := range in.WorkerCand[w] {
+		g := groups[t]
+		if g.Len() >= g.Capacity() || g.Len() >= in.B {
+			continue
+		}
+		if g.Len() > bestLen {
+			bestT, bestLen = t, g.Len()
+		}
+	}
+	return bestT
+}
+
+// RandomChoice joins a uniformly random valid open task; the online
+// baseline.
+type RandomChoice struct {
+	Rng *rand.Rand
+}
+
+// Name implements Policy.
+func (RandomChoice) Name() string { return "online-random" }
+
+// Choose implements Policy.
+func (p RandomChoice) Choose(in *model.Instance, w int, groups []*model.GroupScore) int {
+	var open []int
+	for _, t := range in.WorkerCand[w] {
+		if groups[t].Len() < groups[t].Capacity() {
+			open = append(open, t)
+		}
+	}
+	if len(open) == 0 {
+		return model.Unassigned
+	}
+	return open[p.Rng.Intn(len(open))]
+}

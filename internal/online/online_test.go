@@ -1,0 +1,166 @@
+package online
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"casc/internal/assign"
+	"casc/internal/coop"
+	"casc/internal/geo"
+	"casc/internal/model"
+)
+
+func randomInstance(r *rand.Rand, nW, nT int) *model.Instance {
+	in := &model.Instance{
+		Quality: coop.Synthetic{N: nW, Seed: uint64(r.Int63())},
+		B:       3,
+	}
+	for i := 0; i < nW; i++ {
+		in.Workers = append(in.Workers, model.Worker{
+			ID:     i,
+			Loc:    geo.Pt(r.Float64(), r.Float64()),
+			Speed:  0.05,
+			Radius: 0.15 + r.Float64()*0.15,
+			Arrive: r.Float64(), // online arrival order
+		})
+	}
+	for j := 0; j < nT; j++ {
+		in.Tasks = append(in.Tasks, model.Task{
+			ID: j, Loc: geo.Pt(r.Float64(), r.Float64()), Capacity: 4, Deadline: 5,
+		})
+	}
+	// Candidates at time 0 but workers have Arrive in (0,1); use Now=1 so
+	// everyone is admitted and deadlines still hold.
+	in.Now = 1
+	in.BuildCandidates(model.IndexRTree)
+	return in
+}
+
+func TestRunProducesValidAssignments(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 5; trial++ {
+		in := randomInstance(r, 60, 20)
+		for _, p := range []Policy{GreedyDelta{}, ThresholdDelta{Theta: 0.3}, RandomChoice{Rng: rand.New(rand.NewSource(2))}} {
+			a := Run(in, p)
+			if err := a.Validate(in); err != nil {
+				t.Fatalf("trial %d %s: %v", trial, p.Name(), err)
+			}
+		}
+	}
+}
+
+func TestRespectsArrivalOrder(t *testing.T) {
+	// Two workers with great mutual quality arrive LAST; a capacity-2 task
+	// has already been filled by earlier mediocre arrivals, so online
+	// cannot undo it — while batch GT can.
+	q := coop.NewMatrix(4)
+	q.Set(0, 1, 0.1) // early pair
+	q.Set(2, 3, 0.9) // late pair
+	in := &model.Instance{Quality: q, B: 2, Now: 10}
+	for i := 0; i < 4; i++ {
+		in.Workers = append(in.Workers, model.Worker{
+			ID: i, Loc: geo.Pt(0.5, 0.5), Speed: 1, Radius: 0.5, Arrive: float64(i),
+		})
+	}
+	in.Tasks = []model.Task{{ID: 0, Loc: geo.Pt(0.5, 0.5), Capacity: 2, Deadline: 20}}
+	in.BuildCandidates(model.IndexLinear)
+
+	a := Run(in, GreedyDelta{})
+	if a.TaskOf(0) != 0 || a.TaskOf(1) != 0 {
+		t.Fatalf("online did not commit the early arrivals: %v", a.Pairs())
+	}
+	onlineScore := a.TotalScore(in)
+
+	batch, err := assign.NewGT(assign.GTOptions{}).Solve(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.TotalScore(in) <= onlineScore {
+		t.Fatalf("batch GT %v should beat committed online %v here",
+			batch.TotalScore(in), onlineScore)
+	}
+}
+
+func TestBatchBeatsOnlineInAggregate(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	var online, batchScore float64
+	for trial := 0; trial < 8; trial++ {
+		in := randomInstance(r, 70, 20)
+		online += Run(in, GreedyDelta{}).TotalScore(in)
+		b, err := assign.NewGT(assign.GTOptions{}).Solve(context.Background(), in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batchScore += b.TotalScore(in)
+	}
+	if batchScore < online {
+		t.Errorf("batch GT aggregate %v below online greedy %v", batchScore, online)
+	}
+}
+
+func TestGreedyBeatsRandomOnline(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	var greedy, random float64
+	for trial := 0; trial < 8; trial++ {
+		in := randomInstance(r, 70, 20)
+		greedy += Run(in, GreedyDelta{}).TotalScore(in)
+		random += Run(in, RandomChoice{Rng: rand.New(rand.NewSource(int64(trial)))}).TotalScore(in)
+	}
+	if greedy <= random {
+		t.Errorf("online greedy %v not above online random %v", greedy, random)
+	}
+}
+
+func TestThresholdTradeoff(t *testing.T) {
+	// A very high threshold must assign no more workers than greedy; a zero
+	// threshold behaves like greedy up to ties.
+	r := rand.New(rand.NewSource(5))
+	in := randomInstance(r, 80, 25)
+	greedy := Run(in, GreedyDelta{})
+	high := Run(in, ThresholdDelta{Theta: 10})
+	// Theta=10 is unreachable (ΔQ ≤ capacity), so only the group-forming
+	// fallback places workers; groups never exceed B... they can't even
+	// earn ΔQ ≥ 10, so every group stays below or at B via fallback.
+	for tsk, ws := range high.TaskWorkers {
+		if len(ws) > in.B {
+			t.Fatalf("threshold policy grew task %d beyond B without clearing Theta", tsk)
+		}
+	}
+	if high.TotalScore(in) > greedy.TotalScore(in)+1e-9 {
+		// Not impossible in theory, but with Theta unreachable the threshold
+		// policy forfeits all post-B improvements; flag if it wins.
+		t.Logf("note: threshold beat greedy (%v vs %v)", high.TotalScore(in), greedy.TotalScore(in))
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	if (GreedyDelta{}).Name() != "online-greedy" {
+		t.Error("greedy name")
+	}
+	if (ThresholdDelta{Theta: 0.25}).Name() != "online-threshold(0.25)" {
+		t.Error("threshold name")
+	}
+	if (RandomChoice{}).Name() != "online-random" {
+		t.Error("random name")
+	}
+}
+
+func TestInvalidPolicyChoiceIgnored(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	in := randomInstance(r, 20, 5)
+	a := Run(in, badPolicy{})
+	if a.NumAssigned() != 0 {
+		t.Error("invalid choices were applied")
+	}
+	if err := a.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type badPolicy struct{}
+
+func (badPolicy) Name() string { return "bad" }
+func (badPolicy) Choose(in *model.Instance, w int, groups []*model.GroupScore) int {
+	return len(in.Tasks) + 5 // out of range
+}

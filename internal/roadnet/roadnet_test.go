@@ -1,0 +1,174 @@
+package roadnet
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"casc/internal/assign"
+	"casc/internal/geo"
+	"casc/internal/model"
+	"casc/internal/workload"
+)
+
+func TestNewGridShape(t *testing.T) {
+	nw, err := NewGrid(GridConfig{Rows: 5, Cols: 7, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.NumNodes() != 35 {
+		t.Fatalf("nodes = %d", nw.NumNodes())
+	}
+	for i := 0; i < nw.NumNodes(); i++ {
+		p := nw.Node(i)
+		if p.X < 0 || p.X > 1 || p.Y < 0 || p.Y > 1 {
+			t.Fatalf("node %d at %v outside unit square", i, p)
+		}
+	}
+	if !nw.connected() {
+		t.Fatal("grid not connected")
+	}
+}
+
+func TestNewGridValidation(t *testing.T) {
+	if _, err := NewGrid(GridConfig{Rows: 1, Cols: 5}); err == nil {
+		t.Error("1-row grid accepted")
+	}
+	if _, err := NewGrid(GridConfig{Rows: 5, Cols: 5, DropRate: 1.5}); err == nil {
+		t.Error("bad drop rate accepted")
+	}
+}
+
+func TestDropKeepsConnectivity(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		cfg := DefaultGrid()
+		cfg.Seed = seed
+		cfg.DropRate = 0.3
+		nw, err := NewGrid(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !nw.connected() {
+			t.Fatalf("seed %d: dropped edges disconnected the network", seed)
+		}
+	}
+}
+
+func TestShortestFromAgainstTriangleAndSymmetry(t *testing.T) {
+	nw, err := NewGrid(GridConfig{Rows: 6, Cols: 6, Seed: 2, DropRate: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d0 := nw.ShortestFrom(0)
+	for v := 0; v < nw.NumNodes(); v++ {
+		if math.IsInf(d0[v], 0) {
+			t.Fatalf("node %d unreachable", v)
+		}
+		// Road distance ≥ Euclidean (paths can't beat straight lines).
+		if eu := nw.Node(0).Dist(nw.Node(v)); d0[v] < eu-1e-9 {
+			t.Fatalf("road distance %v below Euclidean %v", d0[v], eu)
+		}
+	}
+	// Symmetry on an undirected graph.
+	d5 := nw.ShortestFrom(5)
+	if math.Abs(d0[5]-d5[0]) > 1e-9 {
+		t.Fatalf("asymmetric shortest path: %v vs %v", d0[5], d5[0])
+	}
+	// Triangle inequality via an intermediate node.
+	d7 := nw.ShortestFrom(7)
+	for v := 0; v < nw.NumNodes(); v++ {
+		if d0[v] > d0[7]+d7[v]+1e-9 {
+			t.Fatalf("triangle violated at %d", v)
+		}
+	}
+}
+
+func TestDistanceDominatesEuclidean(t *testing.T) {
+	nw, err := NewGrid(DefaultGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := []geo.Point{geo.Pt(0.1, 0.1), geo.Pt(0.9, 0.2), geo.Pt(0.5, 0.5), geo.Pt(0.05, 0.95)}
+	for _, a := range pts {
+		for _, b := range pts {
+			road := nw.Distance(a, b)
+			eu := a.Dist(b)
+			if road < eu-1e-9 {
+				t.Fatalf("road %v < euclidean %v between %v and %v", road, eu, a, b)
+			}
+		}
+	}
+	if d := nw.Distance(pts[0], pts[0]); d < 0 || d > 0.2 {
+		t.Errorf("self distance %v should be ~2×(walk to nearest node)", d)
+	}
+}
+
+func roadInstance(t *testing.T, travel model.TravelFunc) *model.Instance {
+	t.Helper()
+	p := workload.Default()
+	p.NumWorkers, p.NumTasks = 300, 100
+	p.Seed = 5
+	in, err := p.Instance(0, model.IndexRTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Travel = travel
+	in.BuildCandidates(model.IndexRTree)
+	return in
+}
+
+func TestRoadVsEuclideanShrinksCandidates(t *testing.T) {
+	nw, err := NewGrid(DefaultGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	euclid := roadInstance(t, nil)
+	road := roadInstance(t, nw.Travel(euclid.Workers, euclid.Tasks))
+	ne, nr := euclid.NumValidPairs(), road.NumValidPairs()
+	if nr > ne {
+		t.Fatalf("road detours grew candidate sets: %d > %d", nr, ne)
+	}
+	if nr == ne {
+		t.Fatalf("road travel changed nothing; detours should prune some deadline-tight pairs")
+	}
+	// Road candidates must be a subset of Euclidean candidates per worker.
+	for w := range euclid.Workers {
+		set := map[int]bool{}
+		for _, c := range euclid.WorkerCand[w] {
+			set[c] = true
+		}
+		for _, c := range road.WorkerCand[w] {
+			if !set[c] {
+				t.Fatalf("worker %d gained candidate %d under road travel", w, c)
+			}
+		}
+	}
+	// Solvers run unchanged and their assignments validate under the road
+	// model.
+	for _, name := range []string{"TPG", "GT"} {
+		s, _ := assign.ByName(name, 1)
+		a, err := s.Solve(context.Background(), road)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Validate(road); err != nil {
+			t.Fatalf("%s under road travel: %v", name, err)
+		}
+		if a.TotalScore(road) <= 0 {
+			t.Fatalf("%s scored zero under road travel", name)
+		}
+	}
+}
+
+func TestTravelZeroSpeed(t *testing.T) {
+	nw, err := NewGrid(GridConfig{Rows: 4, Cols: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	travel := nw.Travel(nil, nil)
+	w := model.Worker{ID: 1, Loc: geo.Pt(0.2, 0.2), Speed: 0}
+	task := model.Task{ID: 1, Loc: geo.Pt(0.8, 0.8)}
+	if got := travel(w, task); !math.IsInf(got, 1) {
+		t.Errorf("zero-speed travel = %v, want +Inf", got)
+	}
+}

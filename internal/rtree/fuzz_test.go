@@ -1,0 +1,101 @@
+package rtree
+
+import (
+	"sort"
+	"testing"
+
+	"casc/internal/geo"
+)
+
+// FuzzTreeOps drives the R-tree through an arbitrary byte-encoded sequence
+// of insert/delete/query operations, cross-checking every query against a
+// linear-scan model and the structural invariants after every mutation.
+// Run with `go test -fuzz=FuzzTreeOps ./internal/rtree` to explore; the
+// seed corpus below runs in normal test mode.
+func FuzzTreeOps(f *testing.F) {
+	f.Add([]byte{0, 10, 20, 1, 30, 40, 2, 15, 25, 9})
+	f.Add([]byte{0, 1, 2, 0, 3, 4, 0, 5, 6, 1, 1, 2, 2, 0, 0, 50})
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 1, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr := New(4)
+		var live []Item
+		nextID := 0
+		pos := 0
+		next := func() (byte, bool) {
+			if pos >= len(data) {
+				return 0, false
+			}
+			b := data[pos]
+			pos++
+			return b, true
+		}
+		for {
+			op, ok := next()
+			if !ok {
+				break
+			}
+			switch op % 3 {
+			case 0: // insert at coords from the next two bytes
+				xb, ok1 := next()
+				yb, ok2 := next()
+				if !ok1 || !ok2 {
+					return
+				}
+				it := Item{
+					Rect: geo.PointRect(geo.Pt(float64(xb)/255, float64(yb)/255)),
+					ID:   nextID,
+				}
+				nextID++
+				tr.Insert(it)
+				live = append(live, it)
+			case 1: // delete an existing item chosen by the next byte
+				ib, ok1 := next()
+				if !ok1 {
+					return
+				}
+				if len(live) == 0 {
+					continue
+				}
+				idx := int(ib) % len(live)
+				if !tr.Delete(live[idx]) {
+					t.Fatalf("delete of live item %d failed", live[idx].ID)
+				}
+				live[idx] = live[len(live)-1]
+				live = live[:len(live)-1]
+			case 2: // circle query centered from the next two bytes
+				xb, ok1 := next()
+				yb, ok2 := next()
+				if !ok1 || !ok2 {
+					return
+				}
+				c := geo.Pt(float64(xb)/255, float64(yb)/255)
+				const rad = 0.3
+				got := append([]int(nil), tr.SearchCircle(c, rad, nil)...)
+				sort.Ints(got)
+				var want []int
+				for _, it := range live {
+					if geo.InCircle(it.Rect.Min, c, rad) {
+						want = append(want, it.ID)
+					}
+				}
+				sort.Ints(want)
+				if len(got) != len(want) {
+					t.Fatalf("query mismatch: got %d ids, want %d", len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("query mismatch at %d: %d vs %d", i, got[i], want[i])
+					}
+				}
+			}
+			if err := tr.checkInvariants(); err != nil {
+				t.Fatalf("invariants: %v", err)
+			}
+			if tr.Len() != len(live) {
+				t.Fatalf("Len %d, want %d", tr.Len(), len(live))
+			}
+		}
+	})
+}

@@ -1,0 +1,341 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"casc/internal/geo"
+)
+
+func randPoints(r *rand.Rand, n int) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		p := geo.Pt(r.Float64(), r.Float64())
+		items[i] = Item{Rect: geo.PointRect(p), ID: i}
+	}
+	return items
+}
+
+// bruteRange is the ground truth for rectangle queries.
+func bruteRange(items []Item, q geo.Rect) []int {
+	var out []int
+	for _, it := range items {
+		if it.Rect.Intersects(q) {
+			out = append(out, it.ID)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// bruteCircle is the ground truth for circle queries.
+func bruteCircle(items []Item, c geo.Point, rad float64) []int {
+	var out []int
+	for _, it := range items {
+		if it.Rect.IntersectsCircle(c, rad) {
+			out = append(out, it.ID)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func sortedCopy(s []int) []int {
+	out := append([]int(nil), s...)
+	sort.Ints(out)
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(0)
+	if tr.Len() != 0 || tr.Height() != 1 {
+		t.Fatalf("empty tree Len=%d Height=%d", tr.Len(), tr.Height())
+	}
+	if got := tr.Search(geo.RectOf(geo.Pt(0, 0), geo.Pt(1, 1)), nil); len(got) != 0 {
+		t.Errorf("search on empty tree returned %v", got)
+	}
+	if got := tr.Nearest(geo.Pt(0.5, 0.5), 3); got != nil {
+		t.Errorf("nearest on empty tree returned %v", got)
+	}
+	if tr.Delete(Item{Rect: geo.PointRect(geo.Pt(0, 0)), ID: 1}) {
+		t.Error("delete on empty tree succeeded")
+	}
+}
+
+func TestNewPanicsOnTinyFanout(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(2) should panic")
+		}
+	}()
+	New(2)
+}
+
+func TestInsertSearchAgainstBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	items := randPoints(r, 500)
+	tr := New(8)
+	for _, it := range items {
+		tr.Insert(it)
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatalf("invariants after inserts: %v", err)
+	}
+	if tr.Len() != 500 {
+		t.Fatalf("Len = %d, want 500", tr.Len())
+	}
+	for trial := 0; trial < 200; trial++ {
+		q := geo.RectOf(
+			geo.Pt(r.Float64(), r.Float64()),
+			geo.Pt(r.Float64(), r.Float64()),
+		)
+		got := sortedCopy(tr.Search(q, nil))
+		want := bruteRange(items, q)
+		if !equalInts(got, want) {
+			t.Fatalf("trial %d: Search(%v) = %v, want %v", trial, q, got, want)
+		}
+	}
+}
+
+func TestSearchCircleAgainstBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	items := randPoints(r, 400)
+	tr := Bulk(items, 8)
+	for trial := 0; trial < 200; trial++ {
+		c := geo.Pt(r.Float64(), r.Float64())
+		rad := r.Float64() * 0.3
+		got := sortedCopy(tr.SearchCircle(c, rad, nil))
+		want := bruteCircle(items, c, rad)
+		if !equalInts(got, want) {
+			t.Fatalf("trial %d: SearchCircle = %v, want %v", trial, got, want)
+		}
+	}
+}
+
+func TestBulkMatchesInsert(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	items := randPoints(r, 300)
+	bulk := Bulk(items, 8)
+	if err := bulk.checkInvariants(); err != nil {
+		t.Fatalf("bulk invariants: %v", err)
+	}
+	if bulk.Len() != 300 {
+		t.Fatalf("bulk Len = %d", bulk.Len())
+	}
+	inc := New(8)
+	for _, it := range items {
+		inc.Insert(it)
+	}
+	for trial := 0; trial < 100; trial++ {
+		q := geo.RectAround(geo.Pt(r.Float64(), r.Float64()), r.Float64()*0.2)
+		a := sortedCopy(bulk.Search(q, nil))
+		b := sortedCopy(inc.Search(q, nil))
+		if !equalInts(a, b) {
+			t.Fatalf("bulk and incremental trees disagree: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestBulkEmptyAndTiny(t *testing.T) {
+	if tr := Bulk(nil, 0); tr.Len() != 0 {
+		t.Error("Bulk(nil) not empty")
+	}
+	one := []Item{{Rect: geo.PointRect(geo.Pt(0.5, 0.5)), ID: 7}}
+	tr := Bulk(one, 0)
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	got := tr.SearchCircle(geo.Pt(0.5, 0.5), 0.01, nil)
+	if len(got) != 1 || got[0] != 7 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	items := randPoints(r, 200)
+	tr := New(6)
+	for _, it := range items {
+		tr.Insert(it)
+	}
+	// Delete half, verify the rest still queryable and invariants hold.
+	live := map[int]bool{}
+	for _, it := range items {
+		live[it.ID] = true
+	}
+	for i := 0; i < 100; i++ {
+		if !tr.Delete(items[i]) {
+			t.Fatalf("Delete item %d failed", i)
+		}
+		delete(live, items[i].ID)
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatalf("invariants after deletes: %v", err)
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", tr.Len())
+	}
+	all := geo.RectOf(geo.Pt(0, 0), geo.Pt(1, 1))
+	got := tr.Search(all, nil)
+	if len(got) != 100 {
+		t.Fatalf("full search returned %d, want 100", len(got))
+	}
+	for _, id := range got {
+		if !live[id] {
+			t.Fatalf("deleted id %d still returned", id)
+		}
+	}
+	// Deleting again must fail.
+	if tr.Delete(items[0]) {
+		t.Error("double delete succeeded")
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	items := randPoints(r, 150)
+	tr := New(4)
+	for _, it := range items {
+		tr.Insert(it)
+	}
+	for _, it := range items {
+		if !tr.Delete(it) {
+			t.Fatalf("delete %d failed", it.ID)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after deleting all", tr.Len())
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+	// Tree must remain usable after total drain.
+	tr.Insert(items[0])
+	if got := tr.Search(geo.RectOf(geo.Pt(0, 0), geo.Pt(1, 1)), nil); len(got) != 1 {
+		t.Errorf("reinsert after drain: got %v", got)
+	}
+}
+
+func TestMixedInsertDeleteRandomized(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	tr := New(5)
+	var live []Item
+	nextID := 0
+	for step := 0; step < 3000; step++ {
+		if len(live) == 0 || r.Float64() < 0.6 {
+			it := Item{Rect: geo.PointRect(geo.Pt(r.Float64(), r.Float64())), ID: nextID}
+			nextID++
+			tr.Insert(it)
+			live = append(live, it)
+		} else {
+			idx := r.Intn(len(live))
+			if !tr.Delete(live[idx]) {
+				t.Fatalf("step %d: delete failed", step)
+			}
+			live[idx] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		if step%500 == 0 {
+			if err := tr.checkInvariants(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			q := geo.RectAround(geo.Pt(r.Float64(), r.Float64()), 0.25)
+			got := sortedCopy(tr.Search(q, nil))
+			want := bruteRange(live, q)
+			if !equalInts(got, want) {
+				t.Fatalf("step %d: search mismatch", step)
+			}
+		}
+	}
+}
+
+func TestNearest(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	items := randPoints(r, 300)
+	tr := Bulk(items, 8)
+	for trial := 0; trial < 50; trial++ {
+		p := geo.Pt(r.Float64(), r.Float64())
+		k := 1 + r.Intn(10)
+		got := tr.Nearest(p, k)
+		if len(got) != k {
+			t.Fatalf("Nearest returned %d ids, want %d", len(got), k)
+		}
+		// Ground truth: sort items by distance.
+		byDist := make([]Item, len(items))
+		copy(byDist, items)
+		sort.Slice(byDist, func(i, j int) bool {
+			return byDist[i].Rect.Min.Dist2(p) < byDist[j].Rect.Min.Dist2(p)
+		})
+		// Verify distances are ordered and match the true k-th distance.
+		prev := -1.0
+		for rank, id := range got {
+			d := items[id].Rect.Min.Dist(p)
+			if d < prev-1e-12 {
+				t.Fatalf("Nearest out of order at rank %d", rank)
+			}
+			prev = d
+			wantD := byDist[rank].Rect.Min.Dist(p)
+			if d > wantD+1e-9 {
+				t.Fatalf("rank %d distance %v, optimal %v", rank, d, wantD)
+			}
+		}
+	}
+	if got := tr.Nearest(geo.Pt(0.5, 0.5), 0); got != nil {
+		t.Errorf("k=0 returned %v", got)
+	}
+	if got := tr.Nearest(geo.Pt(0.5, 0.5), 1000); len(got) != 300 {
+		t.Errorf("k>n returned %d, want 300", len(got))
+	}
+}
+
+func TestDuplicatePoints(t *testing.T) {
+	// Many items at the same location must all be stored and retrieved.
+	tr := New(4)
+	p := geo.Pt(0.5, 0.5)
+	for i := 0; i < 50; i++ {
+		tr.Insert(Item{Rect: geo.PointRect(p), ID: i})
+	}
+	got := tr.SearchCircle(p, 0.001, nil)
+	if len(got) != 50 {
+		t.Fatalf("got %d ids, want 50", len(got))
+	}
+	if !tr.Delete(Item{Rect: geo.PointRect(p), ID: 25}) {
+		t.Fatal("delete of duplicate-location item failed")
+	}
+	if got := tr.SearchCircle(p, 0.001, nil); len(got) != 49 {
+		t.Fatalf("after delete: %d ids, want 49", len(got))
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	items := randPoints(r, b.N)
+	tr := New(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(items[i])
+	}
+}
+
+func BenchmarkSearchCircle(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	tr := Bulk(randPoints(r, 10000), 16)
+	b.ResetTimer()
+	var buf []int
+	for i := 0; i < b.N; i++ {
+		buf = tr.SearchCircle(geo.Pt(r.Float64(), r.Float64()), 0.05, buf[:0])
+	}
+}

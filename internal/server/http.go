@@ -1,0 +1,181 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"casc/internal/geo"
+)
+
+// Handler returns the platform's HTTP API:
+//
+//	POST /workers   {"x":0.2,"y":0.3,"speed":0.05,"radius":0.1}   → {"id":0}
+//	POST /tasks     {"x":0.5,"y":0.5,"capacity":5,"deadline":3}   → {"id":0}
+//	POST /batch     {"solver":"GT+ALL"}                           → batch result
+//	POST /ratings   {"task_id":0,"score":0.9}                     → {}
+//	GET  /quality?i=0&k=1                                         → {"quality":0.5}
+//	GET  /status                                                  → snapshot
+//
+// Errors are returned as {"error": "..."} with a 4xx status.
+func (p *Platform) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /workers", p.handleRegisterWorker)
+	mux.HandleFunc("POST /tasks", p.handlePostTask)
+	mux.HandleFunc("POST /batch", p.handleBatch)
+	mux.HandleFunc("POST /ratings", p.handleRate)
+	mux.HandleFunc("GET /quality", p.handleQuality)
+	mux.HandleFunc("GET /recommend", p.handleRecommend)
+	mux.HandleFunc("GET /status", p.handleStatus)
+	p.registerAdmin(mux)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func decode(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+// WorkerRequest is the POST /workers body.
+type WorkerRequest struct {
+	X      float64 `json:"x"`
+	Y      float64 `json:"y"`
+	Speed  float64 `json:"speed"`
+	Radius float64 `json:"radius"`
+}
+
+func (p *Platform) handleRegisterWorker(w http.ResponseWriter, r *http.Request) {
+	var req WorkerRequest
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	id, err := p.RegisterWorker(geo.Pt(req.X, req.Y), req.Speed, req.Radius)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]int{"id": id})
+}
+
+// TaskRequest is the POST /tasks body.
+type TaskRequest struct {
+	X        float64 `json:"x"`
+	Y        float64 `json:"y"`
+	Capacity int     `json:"capacity"`
+	Deadline float64 `json:"deadline"`
+}
+
+func (p *Platform) handlePostTask(w http.ResponseWriter, r *http.Request) {
+	var req TaskRequest
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	id, err := p.PostTask(geo.Pt(req.X, req.Y), req.Capacity, req.Deadline)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]int{"id": id})
+}
+
+// BatchRequest is the POST /batch body.
+type BatchRequest struct {
+	Solver string `json:"solver"`
+}
+
+// BatchResponse is the POST /batch reply.
+type BatchResponse struct {
+	Pairs           []PairJSON `json:"pairs"`
+	Score           float64    `json:"score"`
+	Upper           float64    `json:"upper"`
+	DispatchedTasks int        `json:"dispatched_tasks"`
+	ExpiredTasks    int        `json:"expired_tasks"`
+}
+
+// PairJSON is one dispatched worker-and-task pair.
+type PairJSON struct {
+	Worker int `json:"worker"`
+	Task   int `json:"task"`
+}
+
+func (p *Platform) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Solver == "" {
+		req.Solver = "GT+ALL"
+	}
+	res, err := p.RunBatch(r.Context(), req.Solver)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := BatchResponse{
+		Score:           res.Score,
+		Upper:           res.Upper,
+		DispatchedTasks: res.DispatchedTasks,
+		ExpiredTasks:    res.ExpiredTasks,
+		Pairs:           []PairJSON{},
+	}
+	for _, pr := range res.Pairs {
+		resp.Pairs = append(resp.Pairs, PairJSON{Worker: pr.Worker, Task: pr.Task})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// RatingRequest is the POST /ratings body.
+type RatingRequest struct {
+	TaskID int     `json:"task_id"`
+	Score  float64 `json:"score"`
+}
+
+func (p *Platform) handleRate(w http.ResponseWriter, r *http.Request) {
+	var req RatingRequest
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := p.RateTask(req.TaskID, req.Score); err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{})
+}
+
+func (p *Platform) handleQuality(w http.ResponseWriter, r *http.Request) {
+	i, err1 := strconv.Atoi(r.URL.Query().Get("i"))
+	k, err2 := strconv.Atoi(r.URL.Query().Get("k"))
+	if err1 != nil || err2 != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("quality needs integer i and k params"))
+		return
+	}
+	q, err := p.Quality(i, k)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]float64{"quality": q})
+}
+
+func (p *Platform) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, p.Status())
+}

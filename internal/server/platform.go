@@ -1,0 +1,288 @@
+// Package server exposes the CA-SC platform over HTTP: workers register
+// with their locations and working areas, requesters post time-constrained
+// multi-worker tasks, the platform runs batch assignments with any of the
+// paper's solvers, and requesters rate finished tasks — ratings feed the
+// Equation 1 cooperation-quality estimator, closing the loop the paper
+// describes ("platforms allow task requesters to rate the results").
+package server
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"casc/internal/assign"
+	"casc/internal/coop"
+	"casc/internal/geo"
+	"casc/internal/model"
+)
+
+// Platform is the in-memory spatial crowdsourcing platform. All methods
+// are safe for concurrent use.
+type Platform struct {
+	mu      sync.Mutex
+	b       int
+	history *coop.History
+	clock   func() float64
+
+	workers      map[int]model.Worker // available workers by ID
+	tasks        map[int]model.Task   // open tasks by ID
+	nextWorkerID int
+	nextTaskID   int
+
+	// dispatched remembers which workers served each dispatched task (and
+	// their full records) so a later rating can be attributed to the right
+	// pairs and the workers can rejoin the pool at the task's location.
+	dispatched map[int]dispatchedGroup
+	rated      map[int]bool
+
+	totalScore      float64
+	batches         int
+	dispatchedTasks int
+
+	// advance steps the default internal clock; nil when Config.Clock was
+	// supplied by the caller.
+	advance func()
+}
+
+// Config configures a Platform.
+type Config struct {
+	// B is the least required number of workers per task (≥ 2).
+	B int
+	// Alpha and Omega parameterize the Equation 1 estimator (default 0.5
+	// each, the paper's configuration).
+	Alpha, Omega float64
+	// Clock returns the current platform time; defaults to a monotonic
+	// batch counter advanced by RunBatch (useful for tests and demos).
+	Clock func() float64
+}
+
+// NewPlatform returns an empty platform.
+func NewPlatform(cfg Config) (*Platform, error) {
+	if cfg.B < 2 {
+		return nil, fmt.Errorf("server: B = %d, want ≥ 2", cfg.B)
+	}
+	if cfg.Alpha == 0 && cfg.Omega == 0 {
+		cfg.Alpha, cfg.Omega = 0.5, 0.5
+	}
+	p := &Platform{
+		b:          cfg.B,
+		history:    coop.NewHistory(0, cfg.Alpha, cfg.Omega),
+		clock:      cfg.Clock,
+		workers:    make(map[int]model.Worker),
+		tasks:      make(map[int]model.Task),
+		dispatched: make(map[int]dispatchedGroup),
+		rated:      make(map[int]bool),
+	}
+	if p.clock == nil {
+		batch := 0.0
+		p.clock = func() float64 { return batch }
+		// RunBatch advances this implicit clock via advanceClock.
+		p.advance = func() { batch++ }
+	}
+	return p, nil
+}
+
+// RegisterWorker adds an available worker and returns its ID.
+func (p *Platform) RegisterWorker(loc geo.Point, speed, radius float64) (int, error) {
+	if speed < 0 || radius < 0 {
+		return 0, fmt.Errorf("server: negative speed or radius")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	id := p.nextWorkerID
+	p.nextWorkerID++
+	p.history.Grow(p.nextWorkerID)
+	p.workers[id] = model.Worker{
+		ID: id, Loc: loc, Speed: speed, Radius: radius, Arrive: p.clock(),
+	}
+	return id, nil
+}
+
+// PostTask adds an open task and returns its ID. Deadline is absolute
+// platform time.
+func (p *Platform) PostTask(loc geo.Point, capacity int, deadline float64) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if capacity < p.b {
+		return 0, fmt.Errorf("server: capacity %d below B=%d", capacity, p.b)
+	}
+	if deadline <= p.clock() {
+		return 0, fmt.Errorf("server: deadline %v not in the future (now %v)", deadline, p.clock())
+	}
+	id := p.nextTaskID
+	p.nextTaskID++
+	p.tasks[id] = model.Task{
+		ID: id, Loc: loc, Capacity: capacity, Created: p.clock(), Deadline: deadline,
+	}
+	return id, nil
+}
+
+// dispatchedGroup snapshots a dispatched task's worker group.
+type dispatchedGroup struct {
+	ids     []int
+	workers []model.Worker
+	loc     geo.Point
+}
+
+// BatchResult reports one RunBatch call.
+type BatchResult struct {
+	Pairs           []model.Pair // worker ID → task ID pairs actually dispatched
+	Score           float64
+	Upper           float64
+	DispatchedTasks int
+	ExpiredTasks    int
+}
+
+// RunBatch executes one batch of Algorithm 1 with the named solver: expired
+// tasks are dropped, the current available workers and open tasks form an
+// instance, groups reaching B are dispatched (their workers leave the pool,
+// the tasks await ratings). Returns the dispatched pairs with *external*
+// worker and task IDs.
+func (p *Platform) RunBatch(ctx context.Context, solverName string) (*BatchResult, error) {
+	solver, err := assign.ByName(solverName, int64(p.batchCount()))
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := p.clock()
+
+	res := &BatchResult{}
+	for id, t := range p.tasks {
+		if t.Deadline <= now {
+			delete(p.tasks, id)
+			res.ExpiredTasks++
+		}
+	}
+
+	// Dense instance over current state.
+	workerIDs := make([]int, 0, len(p.workers))
+	for id := range p.workers {
+		workerIDs = append(workerIDs, id)
+	}
+	sort.Ints(workerIDs)
+	taskIDs := make([]int, 0, len(p.tasks))
+	for id := range p.tasks {
+		taskIDs = append(taskIDs, id)
+	}
+	sort.Ints(taskIDs)
+
+	in := &model.Instance{B: p.b, Now: now}
+	for _, id := range workerIDs {
+		in.Workers = append(in.Workers, p.workers[id])
+	}
+	for _, id := range taskIDs {
+		in.Tasks = append(in.Tasks, p.tasks[id])
+	}
+	in.Quality = coop.NewCached(coop.NewSubset(p.history, workerIDs))
+	in.BuildCandidates(model.IndexRTree)
+
+	a, err := solver.Solve(ctx, in)
+	if err != nil {
+		return nil, err
+	}
+	res.Upper = assign.Upper(in)
+
+	for ti, ws := range a.TaskWorkers {
+		if len(ws) < p.b {
+			continue // below B: keep the task open and the workers available
+		}
+		taskID := taskIDs[ti]
+		grp := dispatchedGroup{loc: in.Tasks[ti].Loc}
+		for _, wi := range ws {
+			workerID := workerIDs[wi]
+			grp.ids = append(grp.ids, workerID)
+			grp.workers = append(grp.workers, p.workers[workerID])
+			delete(p.workers, workerID)
+			res.Pairs = append(res.Pairs, model.Pair{Worker: workerID, Task: taskID})
+		}
+		sort.Ints(grp.ids)
+		res.Score += in.GroupQuality(ws, in.Tasks[ti].Capacity)
+		p.dispatched[taskID] = grp
+		delete(p.tasks, taskID)
+		res.DispatchedTasks++
+	}
+	sort.Slice(res.Pairs, func(i, j int) bool {
+		if res.Pairs[i].Task != res.Pairs[j].Task {
+			return res.Pairs[i].Task < res.Pairs[j].Task
+		}
+		return res.Pairs[i].Worker < res.Pairs[j].Worker
+	})
+	p.totalScore += res.Score
+	p.batches++
+	p.dispatchedTasks += res.DispatchedTasks
+	if p.advance != nil {
+		p.advance()
+	}
+	return res, nil
+}
+
+func (p *Platform) batchCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.batches
+}
+
+// RateTask records the requester's rating s ∈ [0,1] for a dispatched task.
+// Every worker pair of the group receives the rating per Equation 1; the
+// workers rejoin the pool at the task's location.
+func (p *Platform) RateTask(taskID int, score float64) error {
+	if score < 0 || score > 1 {
+		return fmt.Errorf("server: rating %v outside [0,1]", score)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	grp, ok := p.dispatched[taskID]
+	if !ok {
+		return fmt.Errorf("server: task %d was not dispatched", taskID)
+	}
+	if p.rated[taskID] {
+		return fmt.Errorf("server: task %d already rated", taskID)
+	}
+	p.rated[taskID] = true
+	p.history.RecordGroup(grp.ids, score)
+	// The group finished the job: its workers become available again at the
+	// task's location.
+	for _, w := range grp.workers {
+		w.Loc = grp.loc
+		w.Arrive = p.clock()
+		p.workers[w.ID] = w
+	}
+	return nil
+}
+
+// Quality returns the current Equation 1 estimate for two workers.
+func (p *Platform) Quality(i, k int) (float64, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if i == k || i < 0 || k < 0 || i >= p.nextWorkerID || k >= p.nextWorkerID {
+		return 0, fmt.Errorf("server: bad worker pair (%d,%d)", i, k)
+	}
+	return p.history.Quality(i, k), nil
+}
+
+// Status is a platform snapshot.
+type Status struct {
+	AvailableWorkers int     `json:"available_workers"`
+	OpenTasks        int     `json:"open_tasks"`
+	Batches          int     `json:"batches"`
+	DispatchedTasks  int     `json:"dispatched_tasks"`
+	TotalScore       float64 `json:"total_score"`
+	Now              float64 `json:"now"`
+}
+
+// Status reports the platform snapshot.
+func (p *Platform) Status() Status {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return Status{
+		AvailableWorkers: len(p.workers),
+		OpenTasks:        len(p.tasks),
+		Batches:          p.batches,
+		DispatchedTasks:  p.dispatchedTasks,
+		TotalScore:       p.totalScore,
+		Now:              p.clock(),
+	}
+}

@@ -1,0 +1,148 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"casc/internal/geo"
+)
+
+func TestRecommendRanksByHistory(t *testing.T) {
+	p := newTestPlatform(t)
+	// Worker 0 is the one asking; workers 1 and 2 are potential partners.
+	for i := 0; i < 3; i++ {
+		if _, err := p.RegisterWorker(geo.Pt(0.5, 0.5), 0.2, 0.4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Two tasks, both reachable. Task A near worker group with good
+	// history, task B identical geometry.
+	taskA, err := p.PostTask(geo.Pt(0.45, 0.5), 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	taskB, err := p.PostTask(geo.Pt(0.55, 0.5), 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := p.Recommend(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d recommendations, want 2 (tasks %d,%d)", len(recs), taskA, taskB)
+	}
+	// No history yet: utilities equal (prior), ties broken by distance —
+	// both tasks are 0.05 away, so any order is fine, but utility must be
+	// the prior-derived value 2·(B−1)·ω/(B−1) = 2ω = 1.0 with B=2.
+	for _, r := range recs {
+		if r.Utility <= 0 {
+			t.Fatalf("zero utility: %+v", r)
+		}
+	}
+
+	// Give workers 0 and 1 great history; the preview utility must rise.
+	p.history.Grow(3)
+	p.history.Record(0, 1, 1.0)
+	p.history.Record(0, 1, 1.0)
+	recs2, err := p.Recommend(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs2[0].Utility <= recs[0].Utility {
+		t.Errorf("history did not raise the preview utility: %v vs %v",
+			recs2[0].Utility, recs[0].Utility)
+	}
+}
+
+func TestRecommendFiltersInvalid(t *testing.T) {
+	p := newTestPlatform(t)
+	// A worker with a tiny radius: the far task must not be recommended.
+	if _, err := p.RegisterWorker(geo.Pt(0.1, 0.1), 0.2, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.RegisterWorker(geo.Pt(0.1, 0.1), 0.2, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.PostTask(geo.Pt(0.9, 0.9), 2, 5); err != nil {
+		t.Fatal(err)
+	}
+	near, err := p.PostTask(geo.Pt(0.12, 0.12), 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := p.Recommend(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].TaskID != near {
+		t.Fatalf("recommendations: %+v, want only task %d", recs, near)
+	}
+	// A worker alone (no possible partners) gets nothing.
+	if err := p.UnregisterWorker(1); err != nil {
+		t.Fatal(err)
+	}
+	recs, err = p.Recommend(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("lone worker got recommendations: %+v", recs)
+	}
+}
+
+func TestRecommendErrorsAndHTTP(t *testing.T) {
+	p := newTestPlatform(t)
+	if _, err := p.Recommend(5, 3); err == nil {
+		t.Error("unknown worker accepted")
+	}
+	srv := httptest.NewServer(p.Handler())
+	defer srv.Close()
+	code, _ := httpJSON(t, srv, "GET", "/recommend?worker=abc", nil)
+	if code != http.StatusBadRequest {
+		t.Fatalf("bad worker param: %d", code)
+	}
+	code, _ = httpJSON(t, srv, "GET", "/recommend?worker=9", nil)
+	if code != http.StatusNotFound {
+		t.Fatalf("unknown worker: %d", code)
+	}
+	// A valid request returns an array (possibly empty).
+	if _, err := p.RegisterWorker(geo.Pt(0.5, 0.5), 0.1, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	code, out := httpJSON(t, srv, "GET", "/recommend?worker=0&limit=5", nil)
+	if code != http.StatusOK {
+		t.Fatalf("recommend: %d", code)
+	}
+	var recs []Recommendation
+	if err := json.Unmarshal(out["recommendations"], &recs); err != nil {
+		t.Fatal(err)
+	}
+	code, _ = httpJSON(t, srv, "GET", "/recommend?worker=0&limit=zero", nil)
+	if code != http.StatusBadRequest {
+		t.Fatalf("bad limit: %d", code)
+	}
+}
+
+func TestRecommendLimit(t *testing.T) {
+	p := newTestPlatform(t)
+	for i := 0; i < 2; i++ {
+		if _, err := p.RegisterWorker(geo.Pt(0.5, 0.5), 0.2, 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for j := 0; j < 8; j++ {
+		if _, err := p.PostTask(geo.Pt(0.4+float64(j)*0.02, 0.5), 2, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, err := p.Recommend(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("limit ignored: %d recs", len(recs))
+	}
+}

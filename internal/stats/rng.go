@@ -1,0 +1,119 @@
+// Package stats bundles the randomness and summary-statistics utilities the
+// CA-SC experiments rely on: seeded RNG construction, the paper's truncated
+// Gaussian sampler mapped onto arbitrary ranges, categorical sampling without
+// replacement, and running aggregates for experiment reporting.
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// NewRNG returns a deterministic *rand.Rand seeded with seed. Every
+// generator in this repository threads an explicit RNG so experiments are
+// reproducible run to run.
+func NewRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// TruncGaussian draws a sample from the Gaussian N(0, sigma^2) truncated to
+// [-1, 1] and linearly maps it to [lo, hi]. This is exactly the procedure in
+// §VI-A of the paper ("we linearly map data samples within [−1,1] of a
+// Gaussian distribution N(0, 0.2^2) to a target range"): worker speeds and
+// working radii are drawn this way. The function panics if lo > hi.
+func TruncGaussian(r *rand.Rand, lo, hi, sigma float64) float64 {
+	if lo > hi {
+		panic("stats: TruncGaussian range inverted")
+	}
+	if lo == hi {
+		return lo
+	}
+	var z float64
+	for {
+		z = r.NormFloat64() * sigma
+		if z >= -1 && z <= 1 {
+			break
+		}
+	}
+	// Map [-1,1] -> [lo,hi].
+	return lo + (z+1)/2*(hi-lo)
+}
+
+// PaperSigma is the standard deviation the paper uses for all truncated
+// Gaussian draws (N(0, 0.2^2)).
+const PaperSigma = 0.2
+
+// GaussianPoint draws a 2D sample from the isotropic Gaussian centered at
+// (cx, cy) with the given standard deviation, clamped into [0,1]^2. The
+// SKEW workload places 80% of locations in such a cluster.
+func GaussianPoint(r *rand.Rand, cx, cy, sigma float64) (x, y float64) {
+	x = clamp01(cx + r.NormFloat64()*sigma)
+	y = clamp01(cy + r.NormFloat64()*sigma)
+	return x, y
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// SampleWithoutReplacement returns k distinct indices drawn uniformly from
+// [0, n). If k >= n it returns the full permutation of [0, n). The result
+// order is random.
+func SampleWithoutReplacement(r *rand.Rand, n, k int) []int {
+	if n <= 0 || k <= 0 {
+		return nil
+	}
+	perm := r.Perm(n)
+	if k > n {
+		k = n
+	}
+	return perm[:k]
+}
+
+// Shuffle permutes s in place using r.
+func Shuffle[T any](r *rand.Rand, s []T) {
+	r.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+}
+
+// ZipfSizes draws n positive integer sizes from a bounded Zipf-like
+// distribution with exponent s over {1, ..., max}. It is used by the
+// synthetic Meetup generator to produce heavy-tailed group sizes, which in
+// turn produce the heavy-tailed co-group Jaccard distribution observed on
+// event-based social networks.
+func ZipfSizes(r *rand.Rand, n int, s float64, max int) []int {
+	if n <= 0 {
+		return nil
+	}
+	if max < 1 {
+		max = 1
+	}
+	// Precompute the CDF of P(k) ∝ k^-s for k in 1..max.
+	cdf := make([]float64, max)
+	total := 0.0
+	for k := 1; k <= max; k++ {
+		total += math.Pow(float64(k), -s)
+		cdf[k-1] = total
+	}
+	out := make([]int, n)
+	for i := range out {
+		u := r.Float64() * total
+		// Binary search the CDF.
+		lo, hi := 0, max-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cdf[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		out[i] = lo + 1
+	}
+	return out
+}

@@ -1,0 +1,219 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	for i := 0; i < 10; i++ {
+		if NewRNG(42).Float64() == c.Float64() {
+			continue
+		}
+		same = false
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestTruncGaussianRange(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		v := TruncGaussian(r, 0.05, 0.10, PaperSigma)
+		if v < 0.05 || v > 0.10 {
+			t.Fatalf("sample %v outside [0.05, 0.10]", v)
+		}
+	}
+}
+
+func TestTruncGaussianCentered(t *testing.T) {
+	// With sigma=0.2 and truncation to [-1,1] the mapped mean should be very
+	// close to the range midpoint.
+	r := NewRNG(7)
+	var s Summary
+	for i := 0; i < 50000; i++ {
+		s.Add(TruncGaussian(r, 0, 1, PaperSigma))
+	}
+	if math.Abs(s.Mean()-0.5) > 0.01 {
+		t.Errorf("mean = %v, want ~0.5", s.Mean())
+	}
+	// Mass should concentrate near the midpoint: stddev of mapped samples is
+	// sigma/2 = 0.1.
+	if s.Stddev() < 0.05 || s.Stddev() > 0.15 {
+		t.Errorf("stddev = %v, want ~0.1", s.Stddev())
+	}
+}
+
+func TestTruncGaussianDegenerate(t *testing.T) {
+	r := NewRNG(1)
+	if v := TruncGaussian(r, 0.3, 0.3, PaperSigma); v != 0.3 {
+		t.Errorf("degenerate range returned %v", v)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("inverted range should panic")
+		}
+	}()
+	TruncGaussian(r, 1, 0, PaperSigma)
+}
+
+func TestGaussianPointClamped(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		x, y := GaussianPoint(r, 0.5, 0.5, 0.2)
+		if x < 0 || x > 1 || y < 0 || y > 1 {
+			t.Fatalf("point (%v,%v) outside unit square", x, y)
+		}
+	}
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	r := NewRNG(5)
+	got := SampleWithoutReplacement(r, 10, 4)
+	if len(got) != 4 {
+		t.Fatalf("len = %d, want 4", len(got))
+	}
+	seen := map[int]bool{}
+	for _, v := range got {
+		if v < 0 || v >= 10 {
+			t.Fatalf("index %d out of range", v)
+		}
+		if seen[v] {
+			t.Fatalf("duplicate index %d", v)
+		}
+		seen[v] = true
+	}
+	if got := SampleWithoutReplacement(r, 3, 10); len(got) != 3 {
+		t.Errorf("oversample: len = %d, want 3", len(got))
+	}
+	if got := SampleWithoutReplacement(r, 0, 5); got != nil {
+		t.Errorf("n=0: got %v, want nil", got)
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	r := NewRNG(11)
+	s := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	orig := append([]int(nil), s...)
+	Shuffle(r, s)
+	if len(s) != len(orig) {
+		t.Fatal("shuffle changed length")
+	}
+	sum := 0
+	for _, v := range s {
+		sum += v
+	}
+	if sum != 36 {
+		t.Error("shuffle changed elements")
+	}
+}
+
+func TestZipfSizes(t *testing.T) {
+	r := NewRNG(13)
+	sizes := ZipfSizes(r, 20000, 1.5, 100)
+	if len(sizes) != 20000 {
+		t.Fatalf("len = %d", len(sizes))
+	}
+	count1, countBig := 0, 0
+	for _, v := range sizes {
+		if v < 1 || v > 100 {
+			t.Fatalf("size %d out of range", v)
+		}
+		if v == 1 {
+			count1++
+		}
+		if v > 50 {
+			countBig++
+		}
+	}
+	// Heavy tail: size 1 dominates, but large sizes still occur.
+	if count1 < 7000 {
+		t.Errorf("size-1 count %d too small for zipf(1.5)", count1)
+	}
+	if countBig == 0 {
+		t.Error("no large groups sampled; tail missing")
+	}
+	if got := ZipfSizes(r, 0, 1.5, 10); got != nil {
+		t.Error("n=0 should return nil")
+	}
+}
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.N() != 0 {
+		t.Error("zero Summary not empty")
+	}
+	for _, v := range []float64{1, 2, 3, 4} {
+		s.Add(v)
+	}
+	if s.N() != 4 || s.Sum() != 10 || s.Mean() != 2.5 {
+		t.Errorf("N/Sum/Mean = %d/%v/%v", s.N(), s.Sum(), s.Mean())
+	}
+	if s.Min() != 1 || s.Max() != 4 {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	want := math.Sqrt((2.25 + 0.25 + 0.25 + 2.25) / 3)
+	if math.Abs(s.Stddev()-want) > 1e-12 {
+		t.Errorf("Stddev = %v, want %v", s.Stddev(), want)
+	}
+}
+
+func TestSummaryPercentile(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{5, 1, 3, 2, 4} {
+		s.Add(v)
+	}
+	tests := []struct{ p, want float64 }{
+		{0, 1}, {100, 5}, {50, 3}, {25, 2}, {75, 4},
+	}
+	for _, tt := range tests {
+		if got := s.Percentile(tt.p); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestSummaryPercentileMonotone(t *testing.T) {
+	f := func(vals []float64) bool {
+		var s Summary
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			s.Add(v)
+		}
+		last := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 10 {
+			cur := s.Percentile(p)
+			if len(vals) > 0 && cur < last {
+				return false
+			}
+			last = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Errorf("percentile not monotone in p: %v", err)
+	}
+}
+
+func TestTimer(t *testing.T) {
+	var tm Timer
+	d := tm.Time(func() {})
+	if d < 0 {
+		t.Error("negative duration")
+	}
+	if tm.N() != 1 {
+		t.Errorf("Timer recorded %d samples, want 1", tm.N())
+	}
+}

@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Summary accumulates scalar observations and reports the usual aggregates.
+// The zero value is ready to use.
+type Summary struct {
+	values []float64
+	sum    float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(v float64) {
+	s.values = append(s.values, v)
+	s.sum += v
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int { return len(s.values) }
+
+// Sum returns the total of all observations.
+func (s *Summary) Sum() float64 { return s.sum }
+
+// Mean returns the arithmetic mean, or 0 with no observations.
+func (s *Summary) Mean() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	return s.sum / float64(len(s.values))
+}
+
+// Min returns the minimum observation, or +Inf with no observations.
+func (s *Summary) Min() float64 {
+	m := math.Inf(1)
+	for _, v := range s.values {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the maximum observation, or -Inf with no observations.
+func (s *Summary) Max() float64 {
+	m := math.Inf(-1)
+	for _, v := range s.values {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Stddev returns the sample standard deviation (n-1 denominator), or 0 for
+// fewer than two observations.
+func (s *Summary) Stddev() float64 {
+	n := len(s.values)
+	if n < 2 {
+		return 0
+	}
+	mean := s.Mean()
+	var ss float64
+	for _, v := range s.values {
+		d := v - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) using linear
+// interpolation between closest ranks. It returns 0 with no observations.
+func (s *Summary) Percentile(p float64) float64 {
+	n := len(s.values)
+	if n == 0 {
+		return 0
+	}
+	sorted := make([]float64, n)
+	copy(sorted, s.values)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[n-1]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// String implements fmt.Stringer with a compact one-line report.
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4f min=%.4f max=%.4f sd=%.4f",
+		s.N(), s.Mean(), s.Min(), s.Max(), s.Stddev())
+}
+
+// Timer measures wall-clock durations and accumulates them into a Summary
+// expressed in seconds.
+type Timer struct {
+	Summary
+}
+
+// Time runs f and records its duration in seconds.
+func (t *Timer) Time(f func()) time.Duration {
+	start := time.Now()
+	f()
+	d := time.Since(start)
+	t.Add(d.Seconds())
+	return d
+}

@@ -1,0 +1,174 @@
+// Package trace records batch-assignment runs as JSON Lines and computes
+// summary analytics over recorded traces. A trace is the platform's audit
+// log: which solver ran when, which worker-and-task pairs were dispatched,
+// at what score, against what bound. Traces replay into analytics without
+// re-running solvers, which is how long experiments get re-analyzed after
+// the fact.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"casc/internal/model"
+)
+
+// Record is one batch of one run.
+type Record struct {
+	Run       string       `json:"run"`
+	Round     int          `json:"round"`
+	Time      float64      `json:"time"`
+	Solver    string       `json:"solver"`
+	Workers   int          `json:"workers"`
+	Tasks     int          `json:"tasks"`
+	Pairs     []model.Pair `json:"pairs"`
+	Score     float64      `json:"score"`
+	Upper     float64      `json:"upper"`
+	ElapsedMS float64      `json:"elapsed_ms"`
+}
+
+// Writer appends records as JSON Lines.
+type Writer struct {
+	w   io.Writer
+	enc *json.Encoder
+	n   int
+}
+
+// NewWriter wraps an io.Writer.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: w, enc: json.NewEncoder(w)}
+}
+
+// Append writes one record.
+func (tw *Writer) Append(r Record) error {
+	if err := tw.enc.Encode(r); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	tw.n++
+	return nil
+}
+
+// Count returns how many records were appended.
+func (tw *Writer) Count() int { return tw.n }
+
+// Read loads all records from JSON Lines.
+func Read(r io.Reader) ([]Record, error) {
+	var out []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return out, nil
+}
+
+// ReadFile loads records from a file.
+func ReadFile(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// Summary aggregates a run's records.
+type Summary struct {
+	Run             string
+	Solver          string
+	Rounds          int
+	TotalScore      float64
+	TotalUpper      float64
+	DispatchedPairs int
+	MeanElapsedMS   float64
+	// ScorePerRound is indexed by round order of appearance.
+	ScorePerRound []float64
+}
+
+// Ratio returns TotalScore/TotalUpper (0 when the bound is 0).
+func (s *Summary) Ratio() float64 {
+	if s.TotalUpper == 0 {
+		return 0
+	}
+	return s.TotalScore / s.TotalUpper
+}
+
+// Summarize groups records by run name and aggregates each. Runs appear in
+// first-seen order.
+func Summarize(recs []Record) []Summary {
+	index := map[string]int{}
+	var out []Summary
+	for _, r := range recs {
+		i, ok := index[r.Run]
+		if !ok {
+			i = len(out)
+			index[r.Run] = i
+			out = append(out, Summary{Run: r.Run, Solver: r.Solver})
+		}
+		s := &out[i]
+		if s.Solver != r.Solver {
+			s.Solver = "mixed"
+		}
+		s.Rounds++
+		s.TotalScore += r.Score
+		s.TotalUpper += r.Upper
+		s.DispatchedPairs += len(r.Pairs)
+		s.MeanElapsedMS += r.ElapsedMS
+		s.ScorePerRound = append(s.ScorePerRound, r.Score)
+	}
+	for i := range out {
+		if out[i].Rounds > 0 {
+			out[i].MeanElapsedMS /= float64(out[i].Rounds)
+		}
+	}
+	return out
+}
+
+// WorkerLoad counts, per worker ID, how many times it was dispatched across
+// the records — the fairness lens on a trace (the paper motivates GT partly
+// by fairness to workers).
+func WorkerLoad(recs []Record) map[int]int {
+	load := map[int]int{}
+	for _, r := range recs {
+		for _, p := range r.Pairs {
+			load[p.Worker]++
+		}
+	}
+	return load
+}
+
+// Validate checks a trace's internal consistency: rounds non-negative,
+// scores within bounds, no worker dispatched twice in one record.
+func Validate(recs []Record) error {
+	for i, r := range recs {
+		if r.Round < 0 || r.Score < 0 || r.ElapsedMS < 0 {
+			return fmt.Errorf("trace: record %d has negative fields", i)
+		}
+		if r.Score > r.Upper+1e-6 {
+			return fmt.Errorf("trace: record %d score %v above bound %v", i, r.Score, r.Upper)
+		}
+		seen := map[int]bool{}
+		for _, p := range r.Pairs {
+			if seen[p.Worker] {
+				return fmt.Errorf("trace: record %d dispatches worker %d twice", i, p.Worker)
+			}
+			seen[p.Worker] = true
+		}
+	}
+	return nil
+}

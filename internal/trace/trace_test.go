@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"casc/internal/model"
+)
+
+func sampleRecords() []Record {
+	return []Record{
+		{Run: "gt", Round: 0, Solver: "GT", Workers: 10, Tasks: 4,
+			Pairs: []model.Pair{{Worker: 1, Task: 0}, {Worker: 2, Task: 0}},
+			Score: 1.5, Upper: 2.0, ElapsedMS: 3},
+		{Run: "gt", Round: 1, Solver: "GT", Workers: 10, Tasks: 4,
+			Pairs: []model.Pair{{Worker: 1, Task: 1}, {Worker: 3, Task: 1}},
+			Score: 1.0, Upper: 1.8, ElapsedMS: 5},
+		{Run: "rand", Round: 0, Solver: "RAND",
+			Pairs: []model.Pair{{Worker: 4, Task: 2}},
+			Score: 0.4, Upper: 2.0, ElapsedMS: 1},
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, r := range sampleRecords() {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 3 {
+		t.Fatalf("Count = %d", w.Count())
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleRecords()
+	if len(got) != len(want) {
+		t.Fatalf("read %d records", len(got))
+	}
+	for i := range got {
+		if got[i].Run != want[i].Run || got[i].Score != want[i].Score ||
+			len(got[i].Pairs) != len(want[i].Pairs) {
+			t.Fatalf("record %d mismatch: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReadSkipsBlankLinesRejectsGarbage(t *testing.T) {
+	recs, err := Read(strings.NewReader("\n\n"))
+	if err != nil || len(recs) != 0 {
+		t.Errorf("blank-line trace: %v, %d records", err, len(recs))
+	}
+	if _, err := Read(strings.NewReader("{bad json")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "missing.jsonl")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	sums := Summarize(sampleRecords())
+	if len(sums) != 2 {
+		t.Fatalf("summaries: %d", len(sums))
+	}
+	gt := sums[0]
+	if gt.Run != "gt" || gt.Solver != "GT" || gt.Rounds != 2 {
+		t.Fatalf("gt summary: %+v", gt)
+	}
+	if math.Abs(gt.TotalScore-2.5) > 1e-12 || gt.DispatchedPairs != 4 {
+		t.Fatalf("gt totals: %+v", gt)
+	}
+	if math.Abs(gt.MeanElapsedMS-4) > 1e-12 {
+		t.Fatalf("gt mean elapsed: %v", gt.MeanElapsedMS)
+	}
+	if math.Abs(gt.Ratio()-2.5/3.8) > 1e-12 {
+		t.Fatalf("gt ratio: %v", gt.Ratio())
+	}
+	if len(gt.ScorePerRound) != 2 || gt.ScorePerRound[1] != 1.0 {
+		t.Fatalf("per-round scores: %v", gt.ScorePerRound)
+	}
+	empty := Summary{}
+	if empty.Ratio() != 0 {
+		t.Error("empty ratio nonzero")
+	}
+}
+
+func TestSummarizeMixedSolvers(t *testing.T) {
+	recs := []Record{
+		{Run: "x", Solver: "GT"},
+		{Run: "x", Solver: "TPG"},
+	}
+	sums := Summarize(recs)
+	if sums[0].Solver != "mixed" {
+		t.Errorf("solver = %q, want mixed", sums[0].Solver)
+	}
+}
+
+func TestWorkerLoad(t *testing.T) {
+	load := WorkerLoad(sampleRecords())
+	if load[1] != 2 || load[2] != 1 || load[4] != 1 {
+		t.Errorf("load: %v", load)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Validate(sampleRecords()); err != nil {
+		t.Fatalf("good trace rejected: %v", err)
+	}
+	bad := []Record{{Score: 3, Upper: 1}}
+	if err := Validate(bad); err == nil {
+		t.Error("score above bound accepted")
+	}
+	dup := []Record{{Pairs: []model.Pair{{Worker: 1, Task: 0}, {Worker: 1, Task: 1}}, Upper: 1}}
+	if err := Validate(dup); err == nil {
+		t.Error("duplicate worker accepted")
+	}
+	neg := []Record{{Round: -1}}
+	if err := Validate(neg); err == nil {
+		t.Error("negative round accepted")
+	}
+}

@@ -1,0 +1,192 @@
+// Package workload generates the synthetic CA-SC workloads of §VI-A/§VI-C:
+// worker and task locations in [0,1]^2 drawn from the Uniform (UNIF) or
+// Skewed (SKEW) distribution (80% in a Gaussian cluster centered at
+// (0.5,0.5) with σ = 0.2, the rest uniform), worker speeds and working
+// radii drawn from the paper's truncated Gaussian mapped onto a range, and
+// the full Table II parameter grid with its bold default values.
+package workload
+
+import (
+	"fmt"
+
+	"casc/internal/coop"
+	"casc/internal/geo"
+	"casc/internal/model"
+	"casc/internal/stats"
+)
+
+// Dist selects the location distribution.
+type Dist int
+
+const (
+	// UNIF draws locations uniformly over the unit square.
+	UNIF Dist = iota
+	// SKEW draws 80% of locations from N((0.5,0.5), 0.2^2) clamped to the
+	// unit square and the rest uniformly.
+	SKEW
+)
+
+// String implements fmt.Stringer.
+func (d Dist) String() string {
+	switch d {
+	case UNIF:
+		return "UNIF"
+	case SKEW:
+		return "SKEW"
+	default:
+		return fmt.Sprintf("Dist(%d)", int(d))
+	}
+}
+
+// Params are the experiment knobs of Table II. Ranges expressed in the
+// paper as percentages of the data space are stored here as fractions
+// (e.g. [1,5]% → [0.01, 0.05]).
+type Params struct {
+	NumWorkers    int        // m: workers per batch
+	NumTasks      int        // n: tasks per batch
+	Capacity      int        // a_j for every task
+	B             int        // least required workers per task
+	SpeedRange    [2]float64 // [v−, v+]
+	RadiusRange   [2]float64 // [r−, r+]
+	RemainingTime float64    // τ_j − ϕ at generation time
+	Dist          Dist
+	Seed          int64
+}
+
+// Default returns the bold defaults of Table II: a_j = 5, [v−,v+] = [1,5]%,
+// [r−,r+] = [5,10]%, τ = 3, m = 1000, n = 500, B = 3, UNIF locations.
+func Default() Params {
+	return Params{
+		NumWorkers:    1000,
+		NumTasks:      500,
+		Capacity:      5,
+		B:             3,
+		SpeedRange:    [2]float64{0.01, 0.05},
+		RadiusRange:   [2]float64{0.05, 0.10},
+		RemainingTime: 3,
+		Dist:          UNIF,
+		Seed:          1,
+	}
+}
+
+// Table II sweep values (defaults in Default).
+var (
+	// CapacityValues is the Fig. 2 sweep.
+	CapacityValues = []int{3, 4, 5, 6}
+	// SpeedRanges is the Fig. 3 sweep ([v−,v+] as fractions).
+	SpeedRanges = [][2]float64{{0.01, 0.03}, {0.01, 0.05}, {0.01, 0.08}, {0.01, 0.10}}
+	// RadiusRanges is the Fig. 4 sweep.
+	RadiusRanges = [][2]float64{{0.01, 0.05}, {0.05, 0.10}, {0.10, 0.15}, {0.15, 0.20}}
+	// RemainingTimes is the Fig. 5 sweep.
+	RemainingTimes = []float64{1, 2, 3, 4, 5}
+	// EpsilonValues is the Fig. 6 sweep for GT+TSI.
+	EpsilonValues = []float64{0, 0.01, 0.03, 0.05, 0.08}
+	// WorkerCounts is the Fig. 7 sweep.
+	WorkerCounts = []int{500, 800, 1000, 2000, 5000}
+	// TaskCounts is the Fig. 8 sweep.
+	TaskCounts = []int{100, 300, 500, 800, 1000}
+	// DefaultRounds is R, the number of batch rounds per experiment.
+	DefaultRounds = 10
+)
+
+// Validate rejects parameter combinations the generator cannot honour.
+func (p Params) Validate() error {
+	if p.NumWorkers < 0 || p.NumTasks < 0 {
+		return fmt.Errorf("workload: negative sizes m=%d n=%d", p.NumWorkers, p.NumTasks)
+	}
+	if p.B < 2 {
+		return fmt.Errorf("workload: B=%d, want ≥ 2 (groups need pairs)", p.B)
+	}
+	if p.Capacity < p.B {
+		return fmt.Errorf("workload: capacity %d below B=%d", p.Capacity, p.B)
+	}
+	if p.SpeedRange[0] > p.SpeedRange[1] || p.SpeedRange[0] < 0 {
+		return fmt.Errorf("workload: bad speed range %v", p.SpeedRange)
+	}
+	if p.RadiusRange[0] > p.RadiusRange[1] || p.RadiusRange[0] < 0 {
+		return fmt.Errorf("workload: bad radius range %v", p.RadiusRange)
+	}
+	if p.RemainingTime <= 0 {
+		return fmt.Errorf("workload: remaining time %v, want > 0", p.RemainingTime)
+	}
+	return nil
+}
+
+// location draws one point per the configured distribution.
+func (p Params) location(r interface {
+	Float64() float64
+	NormFloat64() float64
+}) geo.Point {
+	if p.Dist == SKEW && r.Float64() < 0.8 {
+		x, y := clamp01(0.5+r.NormFloat64()*0.2), clamp01(0.5+r.NormFloat64()*0.2)
+		return geo.Pt(x, y)
+	}
+	return geo.Pt(r.Float64(), r.Float64())
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Workers generates m workers present at time now.
+func (p Params) Workers(now float64) []model.Worker {
+	r := stats.NewRNG(p.Seed)
+	out := make([]model.Worker, p.NumWorkers)
+	for i := range out {
+		out[i] = model.Worker{
+			ID:     i,
+			Loc:    p.location(r),
+			Speed:  stats.TruncGaussian(r, p.SpeedRange[0], p.SpeedRange[1], stats.PaperSigma),
+			Radius: stats.TruncGaussian(r, p.RadiusRange[0], p.RadiusRange[1], stats.PaperSigma),
+			Arrive: now,
+		}
+	}
+	return out
+}
+
+// Tasks generates n tasks created at time now with deadline now + τ.
+func (p Params) Tasks(now float64) []model.Task {
+	r := stats.NewRNG(p.Seed + 1)
+	out := make([]model.Task, p.NumTasks)
+	for j := range out {
+		out[j] = model.Task{
+			ID:       j,
+			Loc:      p.location(r),
+			Capacity: p.Capacity,
+			Created:  now,
+			Deadline: now + p.RemainingTime,
+		}
+	}
+	return out
+}
+
+// Instance generates one complete batch instance at time now with candidate
+// sets built over the given spatial index. Pairwise qualities come from the
+// deterministic synthetic model seeded from Params.Seed.
+func (p Params) Instance(now float64, kind model.IndexKind) (*model.Instance, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	in := &model.Instance{
+		Workers: p.Workers(now),
+		Tasks:   p.Tasks(now),
+		Quality: coop.Synthetic{N: p.NumWorkers, Seed: uint64(p.Seed)},
+		B:       p.B,
+		Now:     now,
+	}
+	in.BuildCandidates(kind)
+	return in, nil
+}
+
+// WithSeed returns a copy with the given seed; used to derive independent
+// rounds from one base configuration.
+func (p Params) WithSeed(seed int64) Params {
+	p.Seed = seed
+	return p
+}

@@ -1,0 +1,200 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"casc/internal/model"
+)
+
+func TestDefaultMatchesTableII(t *testing.T) {
+	p := Default()
+	if p.NumWorkers != 1000 || p.NumTasks != 500 || p.Capacity != 5 || p.B != 3 {
+		t.Errorf("defaults m/n/a/B = %d/%d/%d/%d", p.NumWorkers, p.NumTasks, p.Capacity, p.B)
+	}
+	if p.SpeedRange != [2]float64{0.01, 0.05} || p.RadiusRange != [2]float64{0.05, 0.10} {
+		t.Errorf("defaults speed/radius = %v/%v", p.SpeedRange, p.RadiusRange)
+	}
+	if p.RemainingTime != 3 {
+		t.Errorf("default τ = %v", p.RemainingTime)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("default params invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	cases := map[string]func(*Params){
+		"negative m":     func(p *Params) { p.NumWorkers = -1 },
+		"B below 2":      func(p *Params) { p.B = 1 },
+		"cap below B":    func(p *Params) { p.Capacity = 2 },
+		"inverted speed": func(p *Params) { p.SpeedRange = [2]float64{0.5, 0.1} },
+		"neg radius":     func(p *Params) { p.RadiusRange = [2]float64{-0.1, 0.1} },
+		"zero tau":       func(p *Params) { p.RemainingTime = 0 },
+	}
+	for name, mutate := range cases {
+		p := Default()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestWorkersWithinRanges(t *testing.T) {
+	p := Default()
+	p.NumWorkers = 2000
+	ws := p.Workers(5)
+	if len(ws) != 2000 {
+		t.Fatalf("generated %d workers", len(ws))
+	}
+	for _, w := range ws {
+		if w.Speed < p.SpeedRange[0] || w.Speed > p.SpeedRange[1] {
+			t.Fatalf("speed %v outside %v", w.Speed, p.SpeedRange)
+		}
+		if w.Radius < p.RadiusRange[0] || w.Radius > p.RadiusRange[1] {
+			t.Fatalf("radius %v outside %v", w.Radius, p.RadiusRange)
+		}
+		if w.Loc.X < 0 || w.Loc.X > 1 || w.Loc.Y < 0 || w.Loc.Y > 1 {
+			t.Fatalf("location %v outside unit square", w.Loc)
+		}
+		if w.Arrive != 5 {
+			t.Fatalf("arrive %v, want 5", w.Arrive)
+		}
+	}
+}
+
+func TestTasksDeadlines(t *testing.T) {
+	p := Default()
+	p.RemainingTime = 2
+	ts := p.Tasks(10)
+	if len(ts) != p.NumTasks {
+		t.Fatalf("generated %d tasks", len(ts))
+	}
+	for _, task := range ts {
+		if task.Created != 10 || task.Deadline != 12 {
+			t.Fatalf("created/deadline = %v/%v", task.Created, task.Deadline)
+		}
+		if task.Capacity != p.Capacity {
+			t.Fatalf("capacity %d", task.Capacity)
+		}
+	}
+}
+
+func TestSkewClusters(t *testing.T) {
+	p := Default()
+	p.Dist = SKEW
+	p.NumWorkers = 5000
+	ws := p.Workers(0)
+	// At least ~70% of points should fall within 0.45 of the center (80%
+	// are Gaussian with σ=0.2; P(|N|<2.25σ) per axis is high).
+	near := 0
+	for _, w := range ws {
+		if math.Hypot(w.Loc.X-0.5, w.Loc.Y-0.5) < 0.45 {
+			near++
+		}
+	}
+	if frac := float64(near) / float64(len(ws)); frac < 0.7 {
+		t.Errorf("only %.2f of SKEW points near center", frac)
+	}
+	// UNIF should be much flatter: expected fraction within r=0.45 of
+	// center is π·0.45² ≈ 0.64 minus corner clipping.
+	p.Dist = UNIF
+	wsU := p.Workers(0)
+	nearU := 0
+	for _, w := range wsU {
+		if math.Hypot(w.Loc.X-0.5, w.Loc.Y-0.5) < 0.45 {
+			nearU++
+		}
+	}
+	if near <= nearU {
+		t.Errorf("SKEW (%d) not more clustered than UNIF (%d)", near, nearU)
+	}
+}
+
+func TestInstanceDeterministicPerSeed(t *testing.T) {
+	p := Default()
+	p.NumWorkers, p.NumTasks = 100, 50
+	a, err := p.Instance(0, model.IndexRTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Instance(0, model.IndexRTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Workers {
+		if a.Workers[i] != b.Workers[i] {
+			t.Fatal("same seed produced different workers")
+		}
+	}
+	c, err := p.WithSeed(99).Instance(0, model.IndexRTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Workers {
+		if a.Workers[i].Loc != c.Workers[i].Loc {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical workers")
+	}
+}
+
+func TestInstanceHasReasonableConnectivity(t *testing.T) {
+	p := Default()
+	p.NumWorkers, p.NumTasks = 500, 100
+	in, err := p.Instance(0, model.IndexRTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if in.NumValidPairs() == 0 {
+		t.Fatal("default workload produced no valid pairs")
+	}
+	// With r ∈ [5,10]% the mean candidate count should be a few percent of n.
+	avg := float64(in.NumValidPairs()) / float64(p.NumWorkers)
+	if avg < 0.5 || avg > 50 {
+		t.Errorf("average candidates per worker = %v, implausible", avg)
+	}
+}
+
+func TestInstanceRejectsInvalidParams(t *testing.T) {
+	p := Default()
+	p.B = 0
+	if _, err := p.Instance(0, model.IndexRTree); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestDistString(t *testing.T) {
+	if UNIF.String() != "UNIF" || SKEW.String() != "SKEW" {
+		t.Error("Dist.String wrong")
+	}
+	if Dist(9).String() == "" {
+		t.Error("unknown dist should still print")
+	}
+}
+
+func TestSweepValuesMatchPaper(t *testing.T) {
+	if len(CapacityValues) != 4 || CapacityValues[0] != 3 || CapacityValues[3] != 6 {
+		t.Error("capacity sweep wrong")
+	}
+	if len(EpsilonValues) != 5 || EpsilonValues[4] != 0.08 {
+		t.Error("epsilon sweep wrong")
+	}
+	if len(WorkerCounts) != 5 || WorkerCounts[4] != 5000 {
+		t.Error("worker sweep wrong")
+	}
+	if len(TaskCounts) != 5 || TaskCounts[4] != 1000 {
+		t.Error("task sweep wrong")
+	}
+	if DefaultRounds != 10 {
+		t.Error("R != 10")
+	}
+}

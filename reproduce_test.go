@@ -1,0 +1,68 @@
+package casc
+
+import (
+	"context"
+	"testing"
+)
+
+// TestReproductionShapes is the repository's claim-level smoke test: the
+// qualitative findings recorded in EXPERIMENTS.md must hold on a
+// moderate-scale run of the harness, not just at paper scale. If a change
+// to any solver or workload flips one of the paper's headline shapes, this
+// test is the tripwire.
+func TestReproductionShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("moderate-scale reproduction check")
+	}
+	ctx := context.Background()
+	opt := ExperimentOptions{
+		Rounds:  2,
+		Seed:    12,
+		Scale:   0.2,
+		Solvers: []string{"TPG", "GT", "GT+ALL", "MFLOW", "RAND"},
+	}
+
+	// Figure 2 shape: GT ≥ TPG ≫ MFLOW/RAND at every capacity; all within
+	// UPPER; capacity growth never hurts materially.
+	capSeries, err := RunExperiment(ctx, "capacity", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev float64
+	for i, pt := range capSeries.Points {
+		tpg, _ := capSeries.Score(pt.Label, "TPG")
+		gt, _ := capSeries.Score(pt.Label, "GT")
+		gtAll, _ := capSeries.Score(pt.Label, "GT+ALL")
+		mflow, _ := capSeries.Score(pt.Label, "MFLOW")
+		rnd, _ := capSeries.Score(pt.Label, "RAND")
+		if gt < tpg-1e-9 {
+			t.Errorf("capacity %s: GT %v below TPG %v", pt.Label, gt, tpg)
+		}
+		if tpg < 1.1*mflow || tpg < 1.1*rnd {
+			t.Errorf("capacity %s: TPG %v not clearly above MFLOW %v / RAND %v",
+				pt.Label, tpg, mflow, rnd)
+		}
+		if gtAll < 0.95*gt {
+			t.Errorf("capacity %s: GT+ALL %v lost more than 5%% of GT %v", pt.Label, gtAll, gt)
+		}
+		if gt > pt.Upper+1e-6 {
+			t.Errorf("capacity %s: GT above UPPER", pt.Label)
+		}
+		if i > 0 && gt < 0.95*prev {
+			t.Errorf("capacity %s: score dropped sharply when capacity grew", pt.Label)
+		}
+		prev = gt
+	}
+
+	// Figure 5 shape: more remaining time never hurts materially, and the
+	// τ=1 point is clearly below the τ=3 point (the paper's knee).
+	dlSeries, err := RunExperiment(ctx, "deadline", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt1, _ := dlSeries.Score("1", "GT")
+	gt3, _ := dlSeries.Score("3", "GT")
+	if gt3 <= gt1 {
+		t.Errorf("deadline: GT at τ=3 (%v) not above τ=1 (%v)", gt3, gt1)
+	}
+}
