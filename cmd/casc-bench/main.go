@@ -10,10 +10,13 @@
 //	casc-bench -exp all -scale 0.2      # all figures, 20% scale
 //	casc-bench -exp settings            # print the Table II grid
 //	casc-bench -exp workers -csv        # CSV instead of aligned tables
+//	casc-bench -exp workers -json       # also write BENCH_workers.json
+//	casc-bench -exp all -metrics m.json # dump final metrics snapshot
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,19 +25,23 @@ import (
 	"time"
 
 	"casc/internal/harness"
+	"casc/internal/metrics"
 	"casc/internal/workload"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: capacity|speed|radius|deadline|epsilon|workers|tasks|distribution|optgap|anytime|sources|all|extra|settings")
-		rounds  = flag.Int("rounds", workload.DefaultRounds, "rounds R per sweep point")
-		scale   = flag.Float64("scale", 1.0, "scale factor on m and n (1.0 = paper scale)")
-		seed    = flag.Int64("seed", 1, "random seed")
-		solvers = flag.String("solvers", "", "comma-separated solver subset (default: all)")
-		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		chart   = flag.Bool("chart", false, "also render an ASCII chart per figure")
-		quiet   = flag.Bool("quiet", false, "suppress progress lines")
+		exp      = flag.String("exp", "all", "experiment: capacity|speed|radius|deadline|epsilon|workers|tasks|distribution|optgap|anytime|sources|all|extra|settings")
+		rounds   = flag.Int("rounds", workload.DefaultRounds, "rounds R per sweep point")
+		scale    = flag.Float64("scale", 1.0, "scale factor on m and n (1.0 = paper scale)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		solvers  = flag.String("solvers", "", "comma-separated solver subset (default: all)")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		chart    = flag.Bool("chart", false, "also render an ASCII chart per figure")
+		quiet    = flag.Bool("quiet", false, "suppress progress lines")
+		bjson    = flag.Bool("json", false, "write BENCH_<experiment>.json per experiment (solver, n, mean/p50/p95 latency, score)")
+		jsonDir  = flag.String("json-dir", ".", "directory for BENCH_*.json files")
+		metricsF = flag.String("metrics", "", "write the final metrics snapshot as JSON to this file")
 	)
 	flag.Parse()
 
@@ -52,6 +59,10 @@ func main() {
 	}
 	if !*quiet {
 		opt.Progress = os.Stderr
+	}
+	reg := metrics.NewRegistry()
+	if *metricsF != "" {
+		opt.Metrics = reg
 	}
 
 	names := []string{*exp}
@@ -85,10 +96,44 @@ func main() {
 				}
 			}
 		}
+		if *bjson {
+			path, err := s.BenchFile(opt).SaveBench(*jsonDir)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "casc-bench: %v\n", err)
+				os.Exit(1)
+			}
+			if !*quiet {
+				fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+			}
+		}
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "%s finished in %s\n", name, time.Since(start).Round(time.Millisecond))
 		}
 	}
+	if *metricsF != "" {
+		if err := saveMetrics(*metricsF, reg); err != nil {
+			fmt.Fprintf(os.Stderr, "casc-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *metricsF)
+		}
+	}
+}
+
+// saveMetrics dumps the registry snapshot as indented JSON.
+func saveMetrics(path string, reg *metrics.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(reg.Snapshot()); err != nil {
+		return err
+	}
+	return f.Close()
 }
 
 func printSettings() {

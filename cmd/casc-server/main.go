@@ -16,6 +16,7 @@
 //	curl -XPOST localhost:8080/ratings -d '{"task_id":0,"score":0.9}'
 //	curl -XPUT  localhost:8080/workers/0 -d '{"x":0.7,"y":0.7,"speed":-1,"radius":-1}'
 //	curl localhost:8080/status
+//	curl localhost:8080/metrics
 //	curl localhost:8080/snapshot
 package main
 
@@ -40,10 +41,11 @@ func main() {
 		alpha    = flag.Float64("alpha", 0.5, "Equation 1 mixing parameter α")
 		omega    = flag.Float64("omega", 0.5, "Equation 1 base quality ω")
 		snapshot = flag.String("snapshot", "", "state file: loaded at startup, saved on shutdown")
+		pprofF   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
-	p, err := buildPlatform(*snapshot, server.Config{B: *b, Alpha: *alpha, Omega: *omega})
+	p, err := buildPlatform(*snapshot, server.Config{B: *b, Alpha: *alpha, Omega: *omega, EnablePprof: *pprofF})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -9,10 +9,12 @@
 //	casc-sim -m 500 -n 200 -solver GT          # generate one batch
 //	casc-sim -data batch.json -compare         # all solvers side by side
 //	casc-sim -rounds 10 -m 300 -n 100 -compare # Algorithm 1 simulation
+//	casc-sim -rounds 10 -metrics m.json        # dump final metrics snapshot
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +25,7 @@ import (
 	"casc/internal/batch"
 	"casc/internal/coop"
 	"casc/internal/dataset"
+	"casc/internal/metrics"
 	"casc/internal/model"
 	"casc/internal/roadnet"
 	"casc/internal/trace"
@@ -32,23 +35,29 @@ import (
 
 func main() {
 	var (
-		data    = flag.String("data", "", "dataset JSON from casc-gen (empty: generate)")
-		solver  = flag.String("solver", "GT", "solver: TPG|GT|GT+LUB|GT+TSI|GT+ALL|MFLOW|RAND|WST")
-		compare = flag.Bool("compare", false, "run every solver and print a comparison")
-		m       = flag.Int("m", 1000, "workers when generating (per round with -rounds)")
-		n       = flag.Int("n", 500, "tasks when generating (per round with -rounds)")
-		seed    = flag.Int64("seed", 1, "seed when generating")
-		index   = flag.String("index", "rtree", "spatial index: rtree|grid|linear")
-		rounds  = flag.Int("rounds", 1, "batch rounds; >1 runs the Algorithm 1 simulator over generated arrivals")
-		svg     = flag.String("svg", "", "write an SVG rendering of the (last) solver's assignment to this file")
-		road    = flag.Bool("road", false, "use a road-network travel model instead of Euclidean")
-		traceF  = flag.String("trace", "", "with -rounds: record per-batch JSONL trace to this file")
+		data     = flag.String("data", "", "dataset JSON from casc-gen (empty: generate)")
+		solver   = flag.String("solver", "GT", "solver: TPG|GT|GT+LUB|GT+TSI|GT+ALL|MFLOW|RAND|WST")
+		compare  = flag.Bool("compare", false, "run every solver and print a comparison")
+		m        = flag.Int("m", 1000, "workers when generating (per round with -rounds)")
+		n        = flag.Int("n", 500, "tasks when generating (per round with -rounds)")
+		seed     = flag.Int64("seed", 1, "seed when generating")
+		index    = flag.String("index", "rtree", "spatial index: rtree|grid|linear")
+		rounds   = flag.Int("rounds", 1, "batch rounds; >1 runs the Algorithm 1 simulator over generated arrivals")
+		svg      = flag.String("svg", "", "write an SVG rendering of the (last) solver's assignment to this file")
+		road     = flag.Bool("road", false, "use a road-network travel model instead of Euclidean")
+		traceF   = flag.String("trace", "", "with -rounds: record per-batch JSONL trace to this file")
+		metricsF = flag.String("metrics", "", "write the final metrics snapshot as JSON to this file")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	var reg *metrics.Registry
+	if *metricsF != "" {
+		reg = metrics.NewRegistry()
+		defer dumpMetrics(*metricsF, reg)
+	}
 	kind, err := indexKind(*index)
 	if err != nil {
 		fatal(err)
@@ -57,7 +66,7 @@ func main() {
 		if *data != "" {
 			fatal(fmt.Errorf("-rounds simulation generates its own arrivals; drop -data"))
 		}
-		simulate(ctx, *solver, *compare, *m, *n, *seed, *rounds, kind, *traceF)
+		simulate(ctx, *solver, *compare, *m, *n, *seed, *rounds, kind, *traceF, reg)
 		return
 	}
 	in, err := load(*data, *m, *n, *seed, kind)
@@ -89,6 +98,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		s = assign.Instrument(s, reg)
 		start := time.Now()
 		a, err := s.Solve(ctx, in)
 		elapsed := time.Since(start)
@@ -119,7 +129,7 @@ func main() {
 // simulate runs the Algorithm 1 simulator: fresh worker/task waves each
 // round, carry-over of unserved tasks, busy workers returning after
 // service.
-func simulate(ctx context.Context, solverName string, compare bool, m, n int, seed int64, rounds int, kind model.IndexKind, tracePath string) {
+func simulate(ctx context.Context, solverName string, compare bool, m, n int, seed int64, rounds int, kind model.IndexKind, tracePath string, reg *metrics.Registry) {
 	names := []string{solverName}
 	if compare {
 		names = assign.AllNames()
@@ -161,6 +171,7 @@ func simulate(ctx context.Context, solverName string, compare bool, m, n int, se
 			Index:    kind,
 			Trace:    tw,
 			TraceRun: name,
+			Metrics:  reg,
 		}, src)
 		if err != nil {
 			fatal(err)
@@ -203,6 +214,21 @@ func indexKind(s string) (model.IndexKind, error) {
 		return model.IndexLinear, nil
 	}
 	return 0, fmt.Errorf("unknown index %q", s)
+}
+
+// dumpMetrics writes the registry snapshot as indented JSON.
+func dumpMetrics(path string, reg *metrics.Registry) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(reg.Snapshot()); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 }
 
 func fatal(err error) {

@@ -1,0 +1,126 @@
+package assign
+
+import (
+	"context"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"casc/internal/metrics"
+)
+
+// countdownCtx is a context whose Err starts returning context.Canceled
+// after budget calls. It makes cancellation reaction deterministic: a
+// solver that polls ctx.Err() in its inner loop must return after a
+// bounded number of further calls, with no wall-clock dependence.
+type countdownCtx struct {
+	context.Context
+	budget int64
+	calls  atomic.Int64
+}
+
+func (c *countdownCtx) Err() error {
+	if c.calls.Add(1) > c.budget {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestCancellationBoundedReaction verifies the inner-loop cancellation
+// audit: every solver polls the context often enough on a 150x50 instance
+// to trip a 30-call budget, and once tripped returns within a handful of
+// further polls, still producing a valid (partial) assignment.
+func TestCancellationBoundedReaction(t *testing.T) {
+	const budget, slack = 30, 5
+	r := rand.New(rand.NewSource(21))
+	in := randomInstance(r, 150, 50, 3)
+	for _, s := range allSolvers(t) {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			cc := &countdownCtx{Context: context.Background(), budget: budget}
+			a, err := s.Solve(cc, in)
+			if err != nil {
+				t.Fatalf("Solve: %v", err)
+			}
+			if err := a.Validate(in); err != nil {
+				t.Fatalf("partial assignment invalid: %v", err)
+			}
+			calls := cc.calls.Load()
+			if calls <= budget {
+				t.Fatalf("only %d ctx polls; instance too small to trip the %d budget", calls, budget)
+			}
+			if calls > budget+slack {
+				t.Errorf("%d ctx polls after cancellation (allowed %d): solver keeps working past cancel", calls-budget, slack)
+			}
+		})
+	}
+}
+
+// TestPreCancelledSolversDoNoStageWork asserts via the instrumentation
+// counters that a context cancelled before Solve prevents any stage work:
+// TPG performs no subset refreshes or heap operations, GT runs no
+// best-response rounds, and both return an empty valid assignment.
+func TestPreCancelledSolversDoNoStageWork(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	in := randomInstance(r, 100, 30, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	reg := metrics.NewRegistry()
+	tpg := NewTPG()
+	gt := NewGT(GTOptions{LUB: true, Epsilon: 0.05})
+	for _, s := range []Solver{Instrument(tpg, reg), Instrument(gt, reg)} {
+		a, err := s.Solve(ctx, in)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if got := a.NumAssigned(); got != 0 {
+			t.Fatalf("%s assigned %d pairs under a pre-cancelled context", s.Name(), got)
+		}
+	}
+
+	snap := reg.Snapshot()
+	for _, name := range []string{MetricTPGSubsetRefreshes, MetricTPGHeapPushes, MetricTPGHeapPops} {
+		if v, ok := snap.Counter(name, metrics.L("solver", "TPG")); ok && v != 0 {
+			t.Errorf("%s = %d, want 0 under pre-cancelled context", name, v)
+		}
+	}
+	if v, ok := snap.Counter(MetricGTRounds, metrics.L("solver", gt.Name())); ok && v != 0 {
+		t.Errorf("%s = %d, want 0 under pre-cancelled context", MetricGTRounds, v)
+	}
+	// The wrapper still accounts for the (no-op) solves themselves.
+	for _, name := range []string{"TPG", gt.Name()} {
+		if v, _ := snap.Counter(MetricSolves, metrics.L("solver", name)); v != 1 {
+			t.Errorf("%s{solver=%s} = %d, want 1", MetricSolves, name, v)
+		}
+	}
+}
+
+// TestCountdownStopsGTWithContextReason checks the dynamics report
+// Reason "context" when cancellation hits mid-run rather than pre-Solve.
+func TestCountdownStopsGTWithContextReason(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	in := randomInstance(r, 150, 50, 3)
+	// Measure the polls a full TPG init costs on this instance, then set the
+	// budget just past it so the trip lands inside the best-response
+	// dynamics rather than the init.
+	probe := &countdownCtx{Context: context.Background(), budget: 1 << 30}
+	if _, err := NewTPG().Solve(probe, in); err != nil {
+		t.Fatalf("probe solve: %v", err)
+	}
+	cc := &countdownCtx{Context: context.Background(), budget: probe.calls.Load() + 10}
+	gt := NewGT(GTOptions{})
+	a, err := gt.Solve(cc, in)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if err := a.Validate(in); err != nil {
+		t.Fatalf("assignment invalid: %v", err)
+	}
+	if cc.calls.Load() <= cc.budget {
+		t.Skip("instance solved within the poll budget; nothing to observe")
+	}
+	if gt.Stats.Reason != "context" {
+		t.Errorf("Stats.Reason = %q, want %q", gt.Stats.Reason, "context")
+	}
+}

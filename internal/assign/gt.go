@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"casc/internal/game"
+	"casc/internal/metrics"
 	"casc/internal/model"
 	"casc/internal/stats"
 )
@@ -58,6 +59,10 @@ type GT struct {
 	// Anytime holds the per-round potential profile of the last Solve when
 	// GTOptions.RecordAnytime is set.
 	Anytime []AnytimePoint
+	// Metrics, when non-nil, receives the dynamics counters of every Solve
+	// (rounds, swaps, best-response calls, LUB prune savings, stop
+	// reasons). Set it directly or via Instrument.
+	Metrics *metrics.Registry
 }
 
 // NewGT returns a GT solver with the given options.
@@ -107,7 +112,29 @@ func (s *GT) Solve(ctx context.Context, in *model.Instance) (*model.Assignment, 
 		}
 	}
 	s.Stats = game.Run(g, gopts)
+	s.recordMetrics(len(in.Workers))
 	return g.assignment(), nil
+}
+
+// recordMetrics flushes the last run's dynamics counters into Metrics.
+func (s *GT) recordMetrics(players int) {
+	if s.Metrics == nil {
+		return
+	}
+	lbl := metrics.L("solver", s.Name())
+	s.Metrics.Counter(MetricGTRounds, "Best-response rounds run.", lbl).Add(uint64(s.Stats.Rounds))
+	s.Metrics.Counter(MetricGTSwaps, "Strategy switches applied.", lbl).Add(uint64(s.Stats.Moves))
+	s.Metrics.Counter(MetricGTBestResponses, "Best-response evaluations performed.", lbl).
+		Add(uint64(s.Stats.BestResponseCalls))
+	if s.opts.LUB {
+		if full := s.Stats.Rounds * players; full > s.Stats.BestResponseCalls {
+			s.Metrics.Counter(MetricGTPrunedBestResponses,
+				"Best-response evaluations skipped by LUB dirty tracking.", lbl).
+				Add(uint64(full - s.Stats.BestResponseCalls))
+		}
+	}
+	s.Metrics.Counter(MetricGTStops, "Dynamics terminations by reason.",
+		lbl, metrics.L("reason", string(s.Stats.Reason))).Inc()
 }
 
 // randomInit assigns each worker a uniformly random candidate task with

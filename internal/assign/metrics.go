@@ -1,0 +1,99 @@
+package assign
+
+import (
+	"context"
+	"time"
+
+	"casc/internal/metrics"
+	"casc/internal/model"
+)
+
+// Metric names recorded by the solver layer. Solver-agnostic series carry
+// a solver="<Name>" label; solver-specific series are listed with the
+// solver that emits them.
+const (
+	// MetricSolveSeconds is the per-Solve wall time histogram (all solvers).
+	MetricSolveSeconds = "casc_solver_solve_seconds"
+	// MetricSolveScore is the per-Solve total cooperation score histogram.
+	MetricSolveScore = "casc_solver_score"
+	// MetricSolves counts Solve calls.
+	MetricSolves = "casc_solver_solves_total"
+	// MetricSolveErrors counts Solve calls that returned an error.
+	MetricSolveErrors = "casc_solver_errors_total"
+
+	// MetricGTRounds counts best-response rounds run (GT family).
+	MetricGTRounds = "casc_gt_rounds_total"
+	// MetricGTSwaps counts strategy switches applied (GT family).
+	MetricGTSwaps = "casc_gt_swaps_total"
+	// MetricGTBestResponses counts utility maximizations performed; with
+	// LUB this stays well below players×rounds — the pruning shows here.
+	MetricGTBestResponses = "casc_gt_best_response_calls_total"
+	// MetricGTPrunedBestResponses counts best-response evaluations the LUB
+	// dirty-set tracking skipped (players×rounds − calls, clamped at 0).
+	MetricGTPrunedBestResponses = "casc_gt_lub_pruned_best_responses_total"
+	// MetricGTStops counts terminations by reason (nash, threshold,
+	// max-rounds, context); reason="threshold" is the TSI prune firing.
+	MetricGTStops = "casc_gt_stops_total"
+
+	// MetricTPGHeapPushes / MetricTPGHeapPops count stage-two lazy-heap
+	// operations (TPG).
+	MetricTPGHeapPushes = "casc_tpg_heap_pushes_total"
+	MetricTPGHeapPops   = "casc_tpg_heap_pops_total"
+	// MetricTPGStaleReevals counts stage-two heap entries whose cached ΔQ
+	// was stale and had to be re-evaluated (TPG).
+	MetricTPGStaleReevals = "casc_tpg_stale_reevals_total"
+	// MetricTPGSubsetRefreshes counts stage-one best-B-subset
+	// recomputations; the dirty-tracking prune keeps this far below
+	// tasks×iterations (TPG).
+	MetricTPGSubsetRefreshes = "casc_tpg_subset_refreshes_total"
+	// MetricTPGSubsetSkips counts stage-one iterations that reused a
+	// cached best B-subset instead of recomputing it (TPG prune hits).
+	MetricTPGSubsetSkips = "casc_tpg_subset_skips_total"
+)
+
+// Instrument wraps s so every Solve records wall time, score, and call
+// counts into reg under a solver="<Name>" label, and hands reg to solvers
+// with internal instrumentation (GT's round/swap/prune counters, TPG's
+// heap and subset counters). The wrapper is itself a Solver, so it drops
+// into the batch engine, the platform, and the harness unchanged.
+func Instrument(s Solver, reg *metrics.Registry) Solver {
+	if reg == nil {
+		return s
+	}
+	switch v := s.(type) {
+	case *GT:
+		v.Metrics = reg
+	case *TPG:
+		v.Metrics = reg
+	case *instrumented:
+		return v // already wrapped
+	}
+	return &instrumented{inner: s, reg: reg}
+}
+
+type instrumented struct {
+	inner Solver
+	reg   *metrics.Registry
+}
+
+// Name implements Solver.
+func (i *instrumented) Name() string { return i.inner.Name() }
+
+// Solve implements Solver.
+func (i *instrumented) Solve(ctx context.Context, in *model.Instance) (*model.Assignment, error) {
+	lbl := metrics.L("solver", i.inner.Name())
+	start := time.Now()
+	a, err := i.inner.Solve(ctx, in)
+	i.reg.Histogram(MetricSolveSeconds, "Solver wall time per batch in seconds.",
+		metrics.LatencyBuckets(), lbl).Observe(time.Since(start).Seconds())
+	i.reg.Counter(MetricSolves, "Solve calls.", lbl).Inc()
+	if err != nil {
+		i.reg.Counter(MetricSolveErrors, "Solve calls that failed.", lbl).Inc()
+		return a, err
+	}
+	if a != nil {
+		i.reg.Histogram(MetricSolveScore, "Total cooperation score per batch.",
+			metrics.ScoreBuckets(), lbl).Observe(a.TotalScore(in))
+	}
+	return a, nil
+}

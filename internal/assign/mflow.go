@@ -36,6 +36,11 @@ func (s *MFlow) Solve(ctx context.Context, in *model.Instance) (*model.Assignmen
 	}
 	var refs []edgeRef
 	for w := 0; w < nW; w++ {
+		// Graph construction dominates the pre-flow cost; checking here
+		// bounds the cancellation reaction to one worker's edges.
+		if ctx.Err() != nil {
+			return model.NewAssignment(in), nil
+		}
 		if len(in.WorkerCand[w]) == 0 {
 			continue
 		}

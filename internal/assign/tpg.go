@@ -5,6 +5,7 @@ import (
 	"context"
 	"sort"
 
+	"casc/internal/metrics"
 	"casc/internal/model"
 )
 
@@ -20,6 +21,10 @@ type TPG struct {
 	// with the highest sampled affinity first (see DESIGN.md §4.2). Zero
 	// selects DefaultSeedLimit.
 	SeedLimit int
+	// Metrics, when non-nil, receives per-Solve counters: stage-one subset
+	// refreshes and prune hits, stage-two heap operations and stale
+	// re-evaluations. Set it directly or via Instrument.
+	Metrics *metrics.Registry
 }
 
 // DefaultSeedLimit is the largest candidate pool searched exhaustively for
@@ -32,6 +37,16 @@ func NewTPG() *TPG { return &TPG{} }
 // Name implements Solver.
 func (s *TPG) Name() string { return "TPG" }
 
+// tpgCounters accumulates per-Solve instrumentation locally so the hot
+// loops pay plain integer increments, flushed to the registry once.
+type tpgCounters struct {
+	subsetRefreshes uint64
+	subsetSkips     uint64
+	heapPushes      uint64
+	heapPops        uint64
+	staleReevals    uint64
+}
+
 // Solve implements Solver.
 func (s *TPG) Solve(ctx context.Context, in *model.Instance) (*model.Assignment, error) {
 	a := model.NewAssignment(in)
@@ -40,11 +55,26 @@ func (s *TPG) Solve(ctx context.Context, in *model.Instance) (*model.Assignment,
 	for i := range avail {
 		avail[i] = true
 	}
-	served := s.stageOne(ctx, in, a, groups, avail)
+	var c tpgCounters
+	served := s.stageOne(ctx, in, a, groups, avail, &c)
 	if ctx.Err() == nil {
-		s.stageTwo(ctx, in, a, groups, avail, served)
+		s.stageTwo(ctx, in, a, groups, avail, served, &c)
 	}
+	s.recordMetrics(&c)
 	return a, nil
+}
+
+// recordMetrics flushes the accumulated counters into Metrics.
+func (s *TPG) recordMetrics(c *tpgCounters) {
+	if s.Metrics == nil {
+		return
+	}
+	lbl := metrics.L("solver", s.Name())
+	s.Metrics.Counter(MetricTPGSubsetRefreshes, "Stage-one best-B-subset recomputations.", lbl).Add(c.subsetRefreshes)
+	s.Metrics.Counter(MetricTPGSubsetSkips, "Stage-one iterations that reused a cached subset.", lbl).Add(c.subsetSkips)
+	s.Metrics.Counter(MetricTPGHeapPushes, "Stage-two heap pushes.", lbl).Add(c.heapPushes)
+	s.Metrics.Counter(MetricTPGHeapPops, "Stage-two heap pops.", lbl).Add(c.heapPops)
+	s.Metrics.Counter(MetricTPGStaleReevals, "Stage-two stale deltas re-evaluated.", lbl).Add(c.staleReevals)
 }
 
 // newGroups allocates one GroupScore per task.
@@ -58,7 +88,7 @@ func newGroups(in *model.Instance) []*model.GroupScore {
 
 // stageOne runs Algorithm 2 lines 1-14 and returns the set of tasks that
 // received a B-worker set.
-func (s *TPG) stageOne(ctx context.Context, in *model.Instance, a *model.Assignment, groups []*model.GroupScore, avail []bool) []bool {
+func (s *TPG) stageOne(ctx context.Context, in *model.Instance, a *model.Assignment, groups []*model.GroupScore, avail []bool, c *tpgCounters) []bool {
 	n := len(in.Tasks)
 	served := make([]bool, n)
 	remaining := make([]bool, n)
@@ -83,8 +113,16 @@ func (s *TPG) stageOne(ctx context.Context, in *model.Instance, a *model.Assignm
 				continue
 			}
 			if dirty[t] {
+				// The subset search dominates stage-one cost; honouring
+				// cancellation here bounds the reaction to one refresh.
+				if ctx.Err() != nil {
+					return served
+				}
 				bestSet[t], bestScore[t] = s.bestBSubset(in, t, avail)
 				dirty[t] = false
+				c.subsetRefreshes++
+			} else {
+				c.subsetSkips++
 			}
 			if bestSet[t] == nil {
 				continue
@@ -298,7 +336,7 @@ func (h *pairHeap) Pop() interface{} {
 // tasks served in stage one, until tasks are full, workers are exhausted,
 // or no pair increases the objective. A lazy max-heap with per-task version
 // stamps keeps each selection near O(log |pairs|).
-func (s *TPG) stageTwo(ctx context.Context, in *model.Instance, a *model.Assignment, groups []*model.GroupScore, avail []bool, served []bool) {
+func (s *TPG) stageTwo(ctx context.Context, in *model.Instance, a *model.Assignment, groups []*model.GroupScore, avail []bool, served []bool, c *tpgCounters) {
 	version := make([]int, len(in.Tasks))
 	h := &pairHeap{}
 	for t := range in.Tasks {
@@ -308,6 +346,7 @@ func (s *TPG) stageTwo(ctx context.Context, in *model.Instance, a *model.Assignm
 		for _, w := range in.TaskCand[t] {
 			if avail[w] {
 				heap.Push(h, pairEntry{delta: groups[t].JoinDelta(w), worker: w, task: t, version: version[t]})
+				c.heapPushes++
 			}
 		}
 	}
@@ -316,6 +355,7 @@ func (s *TPG) stageTwo(ctx context.Context, in *model.Instance, a *model.Assignm
 			return
 		}
 		e := heap.Pop(h).(pairEntry)
+		c.heapPops++
 		if !avail[e.worker] {
 			continue
 		}
@@ -328,6 +368,8 @@ func (s *TPG) stageTwo(ctx context.Context, in *model.Instance, a *model.Assignm
 			e.delta = g.JoinDelta(e.worker)
 			e.version = version[e.task]
 			heap.Push(h, e)
+			c.heapPushes++
+			c.staleReevals++
 			continue
 		}
 		if e.delta <= 0 {

@@ -21,9 +21,54 @@ import (
 
 	"casc/internal/assign"
 	"casc/internal/coop"
+	"casc/internal/metrics"
 	"casc/internal/model"
 	"casc/internal/trace"
 )
+
+// Metric names recorded by the batch engine when Config.Metrics is set.
+const (
+	MetricRounds          = "casc_batch_rounds_total"
+	MetricDispatchedTasks = "casc_batch_dispatched_tasks_total"
+	MetricDispatchedPairs = "casc_batch_dispatched_pairs_total"
+	MetricExpiredTasks    = "casc_batch_expired_tasks_total"
+	MetricDepartedWorkers = "casc_batch_departed_workers_total"
+	MetricRoundScore      = "casc_batch_score"
+	MetricPendingTasks    = "casc_batch_pending_tasks"
+	MetricAvailWorkers    = "casc_batch_available_workers"
+	MetricBusyWorkers     = "casc_batch_busy_workers"
+)
+
+// engineMetrics holds the resolved metric handles for one Run.
+type engineMetrics struct {
+	rounds     *metrics.Counter
+	dispTasks  *metrics.Counter
+	dispPairs  *metrics.Counter
+	expired    *metrics.Counter
+	departed   *metrics.Counter
+	roundScore *metrics.Histogram
+	pending    *metrics.Gauge
+	avail      *metrics.Gauge
+	busy       *metrics.Gauge
+}
+
+func newEngineMetrics(reg *metrics.Registry, solver string) *engineMetrics {
+	if reg == nil {
+		return nil
+	}
+	lbl := metrics.L("solver", solver)
+	return &engineMetrics{
+		rounds:     reg.Counter(MetricRounds, "Batch rounds simulated.", lbl),
+		dispTasks:  reg.Counter(MetricDispatchedTasks, "Tasks dispatched with ≥ B workers.", lbl),
+		dispPairs:  reg.Counter(MetricDispatchedPairs, "Worker-and-task pairs dispatched.", lbl),
+		expired:    reg.Counter(MetricExpiredTasks, "Tasks dropped past their deadline.", lbl),
+		departed:   reg.Counter(MetricDepartedWorkers, "Workers who ran out of patience.", lbl),
+		roundScore: reg.Histogram(MetricRoundScore, "Cooperation score per batch round.", metrics.ScoreBuckets(), lbl),
+		pending:    reg.Gauge(MetricPendingTasks, "Tasks awaiting assignment after the last round.", lbl),
+		avail:      reg.Gauge(MetricAvailWorkers, "Workers available after the last round.", lbl),
+		busy:       reg.Gauge(MetricBusyWorkers, "Workers travelling or performing after the last round.", lbl),
+	}
+}
 
 // Source feeds workers and tasks into the simulation. Rounds are numbered
 // from 0; round r starts at time Config.Interval * r.
@@ -62,6 +107,14 @@ type Config struct {
 	Trace *trace.Writer
 	// TraceRun names the run in trace records (default: the solver name).
 	TraceRun string
+	// Metrics, when non-nil, receives structured instrumentation: per-round
+	// gauges (pending tasks, available/busy workers), counters (rounds,
+	// dispatched pairs/tasks, expired tasks, departed workers), the
+	// per-round score histogram, and — via assign.Instrument — the
+	// solver's wall-time/score histograms and internal counters. This is
+	// the structured replacement for reading BatchStats.Elapsed by hand;
+	// the field stays for backward compatibility.
+	Metrics *metrics.Registry
 }
 
 // BatchStats records one batch of the simulation.
@@ -156,6 +209,11 @@ func Run(ctx context.Context, cfg Config, src Source) (*Result, error) {
 		cfg.ServiceDuration = 1
 	}
 	quality := src.Quality()
+	solver := cfg.Solver
+	em := newEngineMetrics(cfg.Metrics, cfg.Solver.Name())
+	if cfg.Metrics != nil {
+		solver = assign.Instrument(solver, cfg.Metrics)
+	}
 
 	var (
 		pool    []model.Worker // available workers
@@ -170,6 +228,7 @@ func Run(ctx context.Context, cfg Config, src Source) (*Result, error) {
 			return res, ctx.Err()
 		}
 		now := float64(round) * cfg.Interval
+		expiredBefore, departedBefore := res.ExpiredTasks, res.DepartedWorkers
 
 		// Release workers whose tasks finished (Algorithm 1: "workers that
 		// have finished the previous assigned tasks").
@@ -223,7 +282,7 @@ func Run(ctx context.Context, cfg Config, src Source) (*Result, error) {
 
 		// Solve the batch (line 6).
 		start := time.Now()
-		a, err := cfg.Solver.Solve(ctx, in)
+		a, err := solver.Solve(ctx, in)
 		elapsed := time.Since(start)
 		if err != nil {
 			return res, fmt.Errorf("batch: round %d: %w", round, err)
@@ -299,6 +358,18 @@ func Run(ctx context.Context, cfg Config, src Source) (*Result, error) {
 		res.Batches = append(res.Batches, bs)
 		res.TotalScore += bs.Score
 		res.DispatchedTasks += bs.DispatchedTasks
+
+		if em != nil {
+			em.rounds.Inc()
+			em.dispTasks.Add(uint64(bs.DispatchedTasks))
+			em.dispPairs.Add(uint64(bs.AssignedWorkers))
+			em.expired.Add(uint64(res.ExpiredTasks - expiredBefore))
+			em.departed.Add(uint64(res.DepartedWorkers - departedBefore))
+			em.roundScore.Observe(bs.Score)
+			em.pending.Set(float64(len(pending)))
+			em.avail.Set(float64(len(pool)))
+			em.busy.Set(float64(len(busy)))
+		}
 
 		if cfg.Trace != nil {
 			runName := cfg.TraceRun

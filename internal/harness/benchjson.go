@@ -1,0 +1,131 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// This file emits the machine-readable bench trajectory: one
+// BENCH_<experiment>.json per experiment, so every bench run adds a perf
+// datapoint future PRs can diff against.
+
+// BenchEntry is one (sweep point, solver) datapoint.
+type BenchEntry struct {
+	Experiment string  `json:"experiment"`
+	Figure     string  `json:"figure,omitempty"`
+	X          string  `json:"x"`
+	Solver     string  `json:"solver"`
+	N          int     `json:"n"` // solve samples behind the latency stats
+	Score      float64 `json:"score"`
+	Upper      float64 `json:"upper,omitempty"`
+	MeanMS     float64 `json:"mean_ms"`
+	P50MS      float64 `json:"p50_ms"`
+	P95MS      float64 `json:"p95_ms"`
+}
+
+// BenchFile is the top-level BENCH_<experiment>.json document.
+type BenchFile struct {
+	Experiment string       `json:"experiment"`
+	Figure     string       `json:"figure,omitempty"`
+	XLabel     string       `json:"x_label"`
+	Rounds     int          `json:"rounds"`
+	Seed       int64        `json:"seed"`
+	Scale      float64      `json:"scale"`
+	Entries    []BenchEntry `json:"entries"`
+}
+
+// quantile returns the q-quantile of the samples by linear interpolation
+// between order statistics; 0 with no samples.
+func quantile(samples []float64, q float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[len(s)-1]
+	}
+	return s[lo] + (s[lo+1]-s[lo])*frac
+}
+
+func mean(samples []float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range samples {
+		sum += v
+	}
+	return sum / float64(len(samples))
+}
+
+// BenchEntries flattens the series into per-(point, solver) datapoints.
+func (s *Series) BenchEntries() []BenchEntry {
+	var out []BenchEntry
+	for _, pt := range s.Points {
+		for _, r := range pt.Results {
+			const toMS = 1e3
+			out = append(out, BenchEntry{
+				Experiment: s.Experiment,
+				Figure:     s.Figure,
+				X:          pt.Label,
+				Solver:     r.Name,
+				N:          len(r.LatencySeconds),
+				Score:      r.Score,
+				Upper:      pt.Upper,
+				MeanMS:     mean(r.LatencySeconds) * toMS,
+				P50MS:      quantile(r.LatencySeconds, 0.50) * toMS,
+				P95MS:      quantile(r.LatencySeconds, 0.95) * toMS,
+			})
+		}
+	}
+	return out
+}
+
+// BenchFile assembles the JSON document for this series.
+func (s *Series) BenchFile(opt Options) *BenchFile {
+	opt = opt.withDefaults()
+	return &BenchFile{
+		Experiment: s.Experiment,
+		Figure:     s.Figure,
+		XLabel:     s.XLabel,
+		Rounds:     opt.Rounds,
+		Seed:       opt.Seed,
+		Scale:      opt.Scale,
+		Entries:    s.BenchEntries(),
+	}
+}
+
+// WriteBench writes the document as indented JSON.
+func (b *BenchFile) WriteBench(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(b)
+}
+
+// SaveBench writes BENCH_<experiment>.json into dir and returns the path.
+func (b *BenchFile) SaveBench(dir string) (string, error) {
+	path := filepath.Join(dir, fmt.Sprintf("BENCH_%s.json", b.Experiment))
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	if err := b.WriteBench(f); err != nil {
+		return "", err
+	}
+	return path, f.Close()
+}

@@ -17,6 +17,7 @@ import (
 	"casc/internal/assign"
 	"casc/internal/checkin"
 	"casc/internal/meetup"
+	"casc/internal/metrics"
 	"casc/internal/model"
 	"casc/internal/stats"
 	"casc/internal/workload"
@@ -30,6 +31,9 @@ type SolverResult struct {
 	Score float64
 	// BatchSeconds is the mean per-batch running time.
 	BatchSeconds float64
+	// LatencySeconds holds every per-round solve time, so the bench JSON
+	// can report exact p50/p95 rather than bucket estimates.
+	LatencySeconds []float64
 }
 
 // Point is one x-axis value of a figure.
@@ -60,6 +64,10 @@ type Options struct {
 	Scale float64
 	// Progress, when non-nil, receives one line per sweep point.
 	Progress io.Writer
+	// Metrics, when non-nil, receives solver instrumentation for every
+	// solve the experiment performs (latency/score histograms plus the
+	// GT/TPG internals), so a bench run doubles as a metrics datapoint.
+	Metrics *metrics.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -179,6 +187,7 @@ func sweepPoint(ctx context.Context, label string, opt Options, mk instanceMaker
 			if err != nil {
 				return pt, err
 			}
+			solver = assign.Instrument(solver, opt.Metrics)
 			start := time.Now()
 			a, err := solver.Solve(ctx, in)
 			elapsed := time.Since(start).Seconds()
@@ -188,6 +197,7 @@ func sweepPoint(ctx context.Context, label string, opt Options, mk instanceMaker
 			r := agg[name]
 			r.Score += a.TotalScore(in)
 			r.BatchSeconds += elapsed / float64(opt.Rounds)
+			r.LatencySeconds = append(r.LatencySeconds, elapsed)
 		}
 	}
 	for _, name := range opt.Solvers {
@@ -377,17 +387,20 @@ func runOptGap(ctx context.Context, opt Options) (*Series, error) {
 				if err != nil {
 					return series, err
 				}
+				s = assign.Instrument(s, opt.Metrics)
 				st := time.Now()
 				a, err := s.Solve(ctx, in)
 				if err != nil {
 					return series, err
 				}
+				elapsed := time.Since(st).Seconds()
 				score := a.TotalScore(in)
 				if score > bestKnown {
 					bestKnown = score
 				}
 				agg[name].Score += score
-				agg[name].BatchSeconds += time.Since(st).Seconds() / float64(opt.Rounds)
+				agg[name].BatchSeconds += elapsed / float64(opt.Rounds)
+				agg[name].LatencySeconds = append(agg[name].LatencySeconds, elapsed)
 			}
 			ex := &assign.Exact{MaxNodes: 4e6}
 			start := time.Now()
@@ -554,7 +567,7 @@ func runEpsilon(ctx context.Context, opt Options) (*Series, error) {
 				return series, err
 			}
 			pt.Upper += assign.Upper(in)
-			solver := assign.NewGT(assign.GTOptions{Epsilon: eps})
+			solver := assign.Instrument(assign.NewGT(assign.GTOptions{Epsilon: eps}), opt.Metrics)
 			start := time.Now()
 			a, err := solver.Solve(ctx, in)
 			elapsed := time.Since(start).Seconds()
@@ -563,6 +576,7 @@ func runEpsilon(ctx context.Context, opt Options) (*Series, error) {
 			}
 			res.Score += a.TotalScore(in)
 			res.BatchSeconds += elapsed / float64(opt.Rounds)
+			res.LatencySeconds = append(res.LatencySeconds, elapsed)
 		}
 		pt.Results = []SolverResult{res}
 		series.Points = append(series.Points, pt)

@@ -1,0 +1,88 @@
+package metrics
+
+import (
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestWriteTextFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("casc_requests_total", "Total requests.", L("route", "/batch"), L("code", "200")).Add(7)
+	r.Gauge("casc_open_tasks", "Open tasks.").Set(3)
+	h := r.Histogram("casc_solve_seconds", "Solve latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP casc_requests_total Total requests.",
+		"# TYPE casc_requests_total counter",
+		`casc_requests_total{code="200",route="/batch"} 7`,
+		"# TYPE casc_open_tasks gauge",
+		"casc_open_tasks 3",
+		"# TYPE casc_solve_seconds histogram",
+		`casc_solve_seconds_bucket{le="0.1"} 1`,
+		`casc_solve_seconds_bucket{le="1"} 2`,
+		`casc_solve_seconds_bucket{le="+Inf"} 3`,
+		"casc_solve_seconds_sum 5.55",
+		"casc_solve_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q; got:\n%s", want, out)
+		}
+	}
+}
+
+// TestWriteTextParses walks every sample line and checks it splits into a
+// metric id and a numeric value — the shape any Prometheus scraper needs.
+func TestWriteTextParses(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "help with \n newline", L("k", `quote " and \ slash`)).Inc()
+	r.Histogram("b_seconds", "", []float64{0.5}).Observe(0.2)
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(b.String()), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.Contains(line, "\n") {
+			t.Fatalf("raw newline escaped into sample line %q", line)
+		}
+		idx := strings.LastIndexByte(line, ' ')
+		if idx < 0 {
+			t.Fatalf("unparseable sample line %q", line)
+		}
+		if _, err := strconv.ParseFloat(line[idx+1:], 64); err != nil {
+			t.Fatalf("sample value in %q is not numeric: %v", line, err)
+		}
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "").Inc()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	buf := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), "x_total 1") {
+		t.Fatalf("handler output missing sample: %s", buf[:n])
+	}
+}

@@ -1,0 +1,199 @@
+// Package metrics is a zero-dependency observability subsystem for the
+// CA-SC platform: atomic counters, float gauges, and sharded histograms
+// with fixed exponential bucket bounds, collected in a Registry that
+// exposes Prometheus text format (see expose.go) and a structured
+// Snapshot for tests and the bench tools (see registry.go).
+//
+// Everything is safe for concurrent use without locks on the hot path:
+// counters and gauges are single atomics, histograms shard their buckets
+// per P via a sync.Pool so concurrent Observe calls rarely contend. The
+// intended usage pattern is to resolve metric handles once (at component
+// construction or per batch) and update them from the hot loops.
+package metrics
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name=value metric dimension. Construct with L.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L builds a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n. Counters only go up; Add of a negative delta is the
+// caller's bug and is not supported by the type.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous float value that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d (possibly negative) atomically.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// atomicFloat is an atomically-updatable float64 accumulator.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		if f.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) value() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// histShard is one shard of a histogram. Shards are updated with atomics
+// only, so two goroutines handed the same shard remain correct.
+type histShard struct {
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	sum    atomicFloat
+	count  atomic.Uint64
+}
+
+// Histogram observes a distribution of float values into fixed buckets.
+// Bucket semantics follow Prometheus: bucket i counts observations
+// v <= bounds[i]; an implicit +Inf bucket catches the rest.
+type Histogram struct {
+	bounds []float64
+	shards []histShard
+	pool   sync.Pool
+	next   atomic.Uint32
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	if n > 64 {
+		n = 64
+	}
+	h := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		shards: make([]histShard, n),
+	}
+	sort.Float64s(h.bounds)
+	for i := range h.shards {
+		h.shards[i].counts = make([]atomic.Uint64, len(h.bounds)+1)
+	}
+	// The pool gives each P an affine shard; on a miss, hand shards out
+	// round-robin. Duplicate hand-outs are fine — shards are atomic.
+	h.pool.New = func() any {
+		i := h.next.Add(1)
+		return &h.shards[int(i-1)%len(h.shards)]
+	}
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	s := h.pool.Get().(*histShard)
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v, i.e. v <= bounds[i]
+	s.counts[i].Add(1)
+	s.count.Add(1)
+	s.sum.add(v)
+	h.pool.Put(s)
+}
+
+// ObserveDuration records a duration given in seconds. It is Observe
+// with a name that reads right at call sites timing code.
+func (h *Histogram) ObserveDuration(seconds float64) { h.Observe(seconds) }
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var total uint64
+	for i := range h.shards {
+		total += h.shards[i].count.Load()
+	}
+	return total
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	var total float64
+	for i := range h.shards {
+		total += h.shards[i].sum.value()
+	}
+	return total
+}
+
+// bucketCounts merges the shards into per-bucket (non-cumulative) counts,
+// one entry per bound plus the final +Inf bucket.
+func (h *Histogram) bucketCounts() []uint64 {
+	out := make([]uint64, len(h.bounds)+1)
+	for i := range h.shards {
+		for b := range out {
+			out[b] += h.shards[i].counts[b].Load()
+		}
+	}
+	return out
+}
+
+// ExponentialBuckets returns n upper bounds starting at start and growing
+// by factor: start, start*factor, ... Start must be positive and factor
+// greater than one; it panics otherwise (a programmer error, caught at
+// metric construction, never at observation time).
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("metrics: ExponentialBuckets needs start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LatencyBuckets covers 100µs to ~104s in doubling steps — suitable for
+// every solver and HTTP latency in this system.
+func LatencyBuckets() []float64 { return ExponentialBuckets(100e-6, 2, 21) }
+
+// ScoreBuckets covers cooperation-score style values from 1/16 to 2048 in
+// doubling steps (per-batch scores at paper scale land mid-range).
+func ScoreBuckets() []float64 { return ExponentialBuckets(1.0/16, 2, 16) }

@@ -50,6 +50,7 @@ func (p *Platform) UnregisterWorker(id int) error {
 		return fmt.Errorf("server: worker %d not available (unknown or busy)", id)
 	}
 	delete(p.workers, id)
+	p.syncGauges()
 	return nil
 }
 
@@ -61,6 +62,7 @@ func (p *Platform) CancelTask(id int) error {
 		return fmt.Errorf("server: task %d not open", id)
 	}
 	delete(p.tasks, id)
+	p.syncGauges()
 	return nil
 }
 
@@ -203,7 +205,9 @@ func Restore(s *Snapshot, cfg Config) (*Platform, error) {
 			})
 		}
 		p.dispatched[g.TaskID] = grp
+		p.busyCount += len(grp.workers)
 	}
+	p.syncGauges()
 	return p, nil
 }
 
@@ -283,13 +287,13 @@ func (p *Platform) ListTasks() []SnapshotTask {
 //	DELETE /tasks/{id}
 //	GET    /snapshot                  → full state JSON
 func (p *Platform) registerAdmin(mux *http.ServeMux) {
-	mux.HandleFunc("GET /workers", func(w http.ResponseWriter, r *http.Request) {
+	p.route(mux, "GET /workers", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"workers": p.ListWorkers()})
 	})
-	mux.HandleFunc("GET /tasks", func(w http.ResponseWriter, r *http.Request) {
+	p.route(mux, "GET /tasks", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"tasks": p.ListTasks()})
 	})
-	mux.HandleFunc("PUT /workers/{id}", func(w http.ResponseWriter, r *http.Request) {
+	p.route(mux, "PUT /workers/{id}", func(w http.ResponseWriter, r *http.Request) {
 		id, err := pathID(r)
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, err)
@@ -306,7 +310,7 @@ func (p *Platform) registerAdmin(mux *http.ServeMux) {
 		}
 		writeJSON(w, http.StatusOK, map[string]string{})
 	})
-	mux.HandleFunc("DELETE /workers/{id}", func(w http.ResponseWriter, r *http.Request) {
+	p.route(mux, "DELETE /workers/{id}", func(w http.ResponseWriter, r *http.Request) {
 		id, err := pathID(r)
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, err)
@@ -318,7 +322,7 @@ func (p *Platform) registerAdmin(mux *http.ServeMux) {
 		}
 		writeJSON(w, http.StatusOK, map[string]string{})
 	})
-	mux.HandleFunc("DELETE /tasks/{id}", func(w http.ResponseWriter, r *http.Request) {
+	p.route(mux, "DELETE /tasks/{id}", func(w http.ResponseWriter, r *http.Request) {
 		id, err := pathID(r)
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, err)
@@ -330,7 +334,7 @@ func (p *Platform) registerAdmin(mux *http.ServeMux) {
 		}
 		writeJSON(w, http.StatusOK, map[string]string{})
 	})
-	mux.HandleFunc("GET /snapshot", func(w http.ResponseWriter, r *http.Request) {
+	p.route(mux, "GET /snapshot", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, p.Snapshot())
 	})
 }

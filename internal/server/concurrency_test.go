@@ -1,0 +1,319 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"casc/internal/assign"
+	"casc/internal/metrics"
+)
+
+// TestConcurrentPlatformHammer drives the whole HTTP surface from many
+// goroutines at once and then checks conservation invariants: no worker or
+// task is ever lost, every counter matches the successes the clients
+// observed, and the gauges agree with the final Status. Run under -race
+// this doubles as the platform's data-race audit.
+func TestConcurrentPlatformHammer(t *testing.T) {
+	p := newTestPlatform(t)
+	srv := httptest.NewServer(p.Handler())
+	defer srv.Close()
+
+	const (
+		registrars       = 4
+		workersPerReg    = 25
+		posters          = 4
+		tasksPerPoster   = 15
+		batchers         = 3
+		batchesPerBatch  = 4
+		readers          = 2
+		readsPerReader   = 20
+		farFutureDeadine = 1e9
+	)
+	var (
+		wg         sync.WaitGroup
+		registered atomic.Int64
+		posted     atomic.Int64
+		batches    atomic.Int64
+		dispatched atomic.Int64
+		pairs      atomic.Int64
+		rated      atomic.Int64
+	)
+
+	for g := 0; g < registrars; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < workersPerReg; i++ {
+				code, out := httpJSON(t, srv, "POST", "/workers", WorkerRequest{
+					X: 0.3 + float64(g)*0.1, Y: 0.3 + float64(i)*0.01, Speed: 0.1, Radius: 0.4,
+				})
+				if code != http.StatusCreated {
+					t.Errorf("register: status %d %v", code, out)
+					return
+				}
+				registered.Add(1)
+				var id int
+				if err := json.Unmarshal(out["id"], &id); err != nil {
+					t.Errorf("register: %v", err)
+					return
+				}
+				// Move the worker around; 409s are fine if a batch made it busy.
+				httpJSON(t, srv, "PUT", fmt.Sprintf("/workers/%d", id), WorkerRequest{
+					X: 0.5, Y: 0.5, Speed: -1, Radius: -1,
+				})
+			}
+		}(g)
+	}
+	for g := 0; g < posters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < tasksPerPoster; i++ {
+				code, out := httpJSON(t, srv, "POST", "/tasks", TaskRequest{
+					X: 0.4 + float64(g)*0.05, Y: 0.4 + float64(i)*0.01,
+					Capacity: 3, Deadline: farFutureDeadine,
+				})
+				if code != http.StatusCreated {
+					t.Errorf("post task: status %d %v", code, out)
+					return
+				}
+				posted.Add(1)
+			}
+		}(g)
+	}
+	for g := 0; g < batchers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < batchesPerBatch; i++ {
+				code, out := httpJSON(t, srv, "POST", "/batch", BatchRequest{Solver: "TPG"})
+				if code != http.StatusOK {
+					t.Errorf("batch: status %d %v", code, out)
+					return
+				}
+				batches.Add(1)
+				var ps []PairJSON
+				if err := json.Unmarshal(out["pairs"], &ps); err != nil {
+					t.Errorf("batch pairs: %v", err)
+					return
+				}
+				pairs.Add(int64(len(ps)))
+				seen := map[int]bool{}
+				for _, pr := range ps {
+					if seen[pr.Task] {
+						continue
+					}
+					seen[pr.Task] = true
+					dispatched.Add(1)
+					// Each task is dispatched exactly once, and only its
+					// dispatcher rates it, so every rating must succeed.
+					rcode, rout := httpJSON(t, srv, "POST", "/ratings",
+						RatingRequest{TaskID: pr.Task, Score: 0.8})
+					if rcode != http.StatusOK {
+						t.Errorf("rating task %d: status %d %v", pr.Task, rcode, rout)
+						return
+					}
+					rated.Add(1)
+				}
+			}
+		}()
+	}
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < readsPerReader; i++ {
+				for _, path := range []string{"/metrics", "/status", "/workers", "/tasks"} {
+					resp, err := srv.Client().Get(srv.URL + path)
+					if err != nil {
+						t.Errorf("GET %s: %v", path, err)
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						t.Errorf("GET %s: status %d", path, resp.StatusCode)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	st := p.Status()
+	snap := p.Metrics().Snapshot()
+	counter := func(name string) uint64 {
+		t.Helper()
+		v, ok := snap.Counter(name)
+		if !ok {
+			t.Fatalf("counter %s missing from snapshot", name)
+		}
+		return v
+	}
+	gauge := func(name string) float64 {
+		t.Helper()
+		v, ok := snap.Gauge(name)
+		if !ok {
+			t.Fatalf("gauge %s missing from snapshot", name)
+		}
+		return v
+	}
+
+	if got, want := counter(MetricWorkersRegistered), uint64(registered.Load()); got != want {
+		t.Errorf("registered counter = %d, want %d", got, want)
+	}
+	if got, want := counter(MetricTasksPosted), uint64(posted.Load()); got != want {
+		t.Errorf("posted counter = %d, want %d", got, want)
+	}
+	if got, want := counter(MetricBatches), uint64(batches.Load()); got != want {
+		t.Errorf("batches counter = %d, want %d", got, want)
+	}
+	if st.Batches != int(batches.Load()) {
+		t.Errorf("Status.Batches = %d, want %d", st.Batches, batches.Load())
+	}
+	if got, want := counter(MetricDispatchedTasks), uint64(dispatched.Load()); got != want {
+		t.Errorf("dispatched counter = %d, want %d", got, want)
+	}
+	if st.DispatchedTasks != int(dispatched.Load()) {
+		t.Errorf("Status.DispatchedTasks = %d, want %d", st.DispatchedTasks, dispatched.Load())
+	}
+	if got, want := counter(MetricDispatchedPairs), uint64(pairs.Load()); got != want {
+		t.Errorf("pairs counter = %d, want %d", got, want)
+	}
+	if got, want := counter(MetricRatings), uint64(rated.Load()); got != want {
+		t.Errorf("ratings counter = %d, want %d", got, want)
+	}
+	if got := counter(MetricExpiredTasks); got != 0 {
+		t.Errorf("expired counter = %d, want 0 (deadlines were far future)", got)
+	}
+
+	// Conservation: every dispatched task was rated, so all workers are back
+	// in the pool and no worker was ever lost.
+	if rated.Load() != dispatched.Load() {
+		t.Errorf("rated %d of %d dispatched tasks", rated.Load(), dispatched.Load())
+	}
+	if got, want := gauge(MetricBusyWorkers), 0.0; got != want {
+		t.Errorf("busy gauge = %g, want %g", got, want)
+	}
+	if got, want := gauge(MetricAvailableWorkers), float64(registered.Load()); got != want {
+		t.Errorf("available gauge = %g, want %g", got, want)
+	}
+	if st.AvailableWorkers != int(registered.Load()) {
+		t.Errorf("Status.AvailableWorkers = %d, want %d", st.AvailableWorkers, registered.Load())
+	}
+	if got, want := gauge(MetricOpenTasks), float64(posted.Load()-dispatched.Load()); got != want {
+		t.Errorf("open tasks gauge = %g, want %g", got, want)
+	}
+	if st.OpenTasks != int(posted.Load()-dispatched.Load()) {
+		t.Errorf("Status.OpenTasks = %d, want %d", st.OpenTasks, posted.Load()-dispatched.Load())
+	}
+	if got, want := gauge(MetricTotalScore), st.TotalScore; got != want {
+		t.Errorf("score gauge = %g, want Status.TotalScore %g", got, want)
+	}
+
+	// The HTTP layer counted every successful batch request on its route.
+	if got, want := snapCounterHTTP(t, snap, "POST /batch", "200"), uint64(batches.Load()); got != want {
+		t.Errorf("http counter for POST /batch 200 = %d, want %d", got, want)
+	}
+}
+
+func snapCounterHTTP(t *testing.T, snap *metrics.Snapshot, route, code string) uint64 {
+	t.Helper()
+	v, ok := snap.Counter(MetricHTTPRequests, metrics.L("route", route), metrics.L("code", code))
+	if !ok {
+		t.Fatalf("http counter for %s %s missing", route, code)
+	}
+	return v
+}
+
+// TestMetricsEndpointAfterBatch is the acceptance check: after one real
+// POST /batch round, GET /metrics serves Prometheus text with at least one
+// populated counter, gauge, and histogram, and every sample line parses.
+func TestMetricsEndpointAfterBatch(t *testing.T) {
+	p := newTestPlatform(t)
+	srv := httptest.NewServer(p.Handler())
+	defer srv.Close()
+
+	for i := 0; i < 3; i++ {
+		if code, out := httpJSON(t, srv, "POST", "/workers", WorkerRequest{
+			X: 0.5 + float64(i)*0.01, Y: 0.5, Speed: 0.1, Radius: 0.2,
+		}); code != http.StatusCreated {
+			t.Fatalf("worker: status %d %v", code, out)
+		}
+	}
+	if code, out := httpJSON(t, srv, "POST", "/tasks", TaskRequest{
+		X: 0.5, Y: 0.5, Capacity: 3, Deadline: 5,
+	}); code != http.StatusCreated {
+		t.Fatalf("task: status %d %v", code, out)
+	}
+	if code, out := httpJSON(t, srv, "POST", "/batch", BatchRequest{Solver: "GT+ALL"}); code != http.StatusOK {
+		t.Fatalf("batch: status %d %v", code, out)
+	}
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+
+	// One populated representative of each metric kind.
+	for _, want := range []string{
+		"# TYPE " + MetricBatches + " counter",
+		MetricBatches + " 1",
+		"# TYPE " + MetricBusyWorkers + " gauge",
+		MetricBusyWorkers + " 3",
+		"# TYPE " + assign.MetricSolveSeconds + " histogram",
+		assign.MetricSolveSeconds + `_count{solver="GT+ALL"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	// Every sample line must be "name[{labels}] value" with a numeric value
+	// (label values may contain spaces, so split at the last one).
+	sample := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{.+\})?$`)
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		cut := strings.LastIndex(line, " ")
+		if cut < 0 {
+			t.Errorf("unparseable sample line %q", line)
+			continue
+		}
+		name, value := line[:cut], line[cut+1:]
+		if !sample.MatchString(name) {
+			t.Errorf("bad sample name in line %q", line)
+		}
+		if value != "+Inf" {
+			if _, err := strconv.ParseFloat(value, 64); err != nil {
+				t.Errorf("bad sample value in line %q: %v", line, err)
+			}
+		}
+	}
+}

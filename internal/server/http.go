@@ -4,9 +4,20 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
+	"time"
 
 	"casc/internal/geo"
+	"casc/internal/metrics"
+)
+
+// HTTP-layer metric names. Every route registered on the platform mux is
+// wrapped so each request records a counter by route and status code and
+// a latency histogram by route.
+const (
+	MetricHTTPRequests       = "casc_http_requests_total"
+	MetricHTTPRequestSeconds = "casc_http_request_seconds"
 )
 
 // Handler returns the platform's HTTP API:
@@ -17,19 +28,58 @@ import (
 //	POST /ratings   {"task_id":0,"score":0.9}                     → {}
 //	GET  /quality?i=0&k=1                                         → {"quality":0.5}
 //	GET  /status                                                  → snapshot
+//	GET  /metrics                                                 → Prometheus text
 //
+// With Config.EnablePprof, net/http/pprof is mounted under /debug/pprof/.
 // Errors are returned as {"error": "..."} with a 4xx status.
 func (p *Platform) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /workers", p.handleRegisterWorker)
-	mux.HandleFunc("POST /tasks", p.handlePostTask)
-	mux.HandleFunc("POST /batch", p.handleBatch)
-	mux.HandleFunc("POST /ratings", p.handleRate)
-	mux.HandleFunc("GET /quality", p.handleQuality)
-	mux.HandleFunc("GET /recommend", p.handleRecommend)
-	mux.HandleFunc("GET /status", p.handleStatus)
+	p.route(mux, "POST /workers", p.handleRegisterWorker)
+	p.route(mux, "POST /tasks", p.handlePostTask)
+	p.route(mux, "POST /batch", p.handleBatch)
+	p.route(mux, "POST /ratings", p.handleRate)
+	p.route(mux, "GET /quality", p.handleQuality)
+	p.route(mux, "GET /recommend", p.handleRecommend)
+	p.route(mux, "GET /status", p.handleStatus)
+	p.route(mux, "GET /metrics", p.metrics.Handler().ServeHTTP)
 	p.registerAdmin(mux)
+	if p.pprof {
+		// pprof.Index routes /debug/pprof/{heap,goroutine,...} itself.
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
+}
+
+// route registers pattern with request counting and latency recording.
+// The route label is the registration pattern, not the raw URL, so
+// cardinality stays bounded no matter what clients request.
+func (p *Platform) route(mux *http.ServeMux, pattern string, h http.HandlerFunc) {
+	routeLbl := metrics.L("route", pattern)
+	lat := p.metrics.Histogram(MetricHTTPRequestSeconds, "HTTP request latency in seconds.",
+		metrics.LatencyBuckets(), routeLbl)
+	mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		lat.Observe(time.Since(start).Seconds())
+		p.metrics.Counter(MetricHTTPRequests, "HTTP requests by route and status code.",
+			routeLbl, metrics.L("code", strconv.Itoa(sw.code))).Inc()
+	})
+}
+
+// statusWriter captures the response status code for the request counter.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -15,6 +15,7 @@ import (
 	"casc/internal/assign"
 	"casc/internal/coop"
 	"casc/internal/geo"
+	"casc/internal/metrics"
 	"casc/internal/model"
 )
 
@@ -40,11 +41,46 @@ type Platform struct {
 	totalScore      float64
 	batches         int
 	dispatchedTasks int
+	busyCount       int // workers on dispatched, unrated tasks
 
 	// advance steps the default internal clock; nil when Config.Clock was
 	// supplied by the caller.
 	advance func()
+
+	metrics *metrics.Registry
+	pprof   bool
+	pm      platformMetrics
 }
+
+// platformMetrics holds the platform's resolved metric handles.
+type platformMetrics struct {
+	registered *metrics.Counter
+	posted     *metrics.Counter
+	batches    *metrics.Counter
+	dispatched *metrics.Counter
+	pairs      *metrics.Counter
+	expired    *metrics.Counter
+	ratings    *metrics.Counter
+	availGauge *metrics.Gauge
+	busyGauge  *metrics.Gauge
+	openGauge  *metrics.Gauge
+	scoreGauge *metrics.Gauge
+}
+
+// Metric names recorded by the platform. HTTP-layer names live in http.go.
+const (
+	MetricWorkersRegistered = "casc_platform_workers_registered_total"
+	MetricTasksPosted       = "casc_platform_tasks_posted_total"
+	MetricBatches           = "casc_platform_batches_total"
+	MetricDispatchedTasks   = "casc_platform_dispatched_tasks_total"
+	MetricDispatchedPairs   = "casc_platform_dispatched_pairs_total"
+	MetricExpiredTasks      = "casc_platform_expired_tasks_total"
+	MetricRatings           = "casc_platform_ratings_total"
+	MetricAvailableWorkers  = "casc_platform_available_workers"
+	MetricBusyWorkers       = "casc_platform_busy_workers"
+	MetricOpenTasks         = "casc_platform_open_tasks"
+	MetricTotalScore        = "casc_platform_total_score"
+)
 
 // Config configures a Platform.
 type Config struct {
@@ -56,6 +92,14 @@ type Config struct {
 	// Clock returns the current platform time; defaults to a monotonic
 	// batch counter advanced by RunBatch (useful for tests and demos).
 	Clock func() float64
+	// Metrics receives the platform's instrumentation and is served by
+	// GET /metrics. Defaults to a fresh registry per platform; pass a
+	// shared one to aggregate several platforms into one scrape target.
+	Metrics *metrics.Registry
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the
+	// platform mux. Off by default: profiling endpoints expose internals
+	// and cost CPU, so production deployments opt in explicitly.
+	EnablePprof bool
 }
 
 // NewPlatform returns an empty platform.
@@ -66,6 +110,10 @@ func NewPlatform(cfg Config) (*Platform, error) {
 	if cfg.Alpha == 0 && cfg.Omega == 0 {
 		cfg.Alpha, cfg.Omega = 0.5, 0.5
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
 	p := &Platform{
 		b:          cfg.B,
 		history:    coop.NewHistory(0, cfg.Alpha, cfg.Omega),
@@ -74,6 +122,21 @@ func NewPlatform(cfg Config) (*Platform, error) {
 		tasks:      make(map[int]model.Task),
 		dispatched: make(map[int]dispatchedGroup),
 		rated:      make(map[int]bool),
+		metrics:    reg,
+		pprof:      cfg.EnablePprof,
+		pm: platformMetrics{
+			registered: reg.Counter(MetricWorkersRegistered, "Workers ever registered."),
+			posted:     reg.Counter(MetricTasksPosted, "Tasks ever posted."),
+			batches:    reg.Counter(MetricBatches, "RunBatch calls completed."),
+			dispatched: reg.Counter(MetricDispatchedTasks, "Tasks dispatched with ≥ B workers."),
+			pairs:      reg.Counter(MetricDispatchedPairs, "Worker-and-task pairs dispatched."),
+			expired:    reg.Counter(MetricExpiredTasks, "Tasks dropped past their deadline."),
+			ratings:    reg.Counter(MetricRatings, "Requester ratings recorded."),
+			availGauge: reg.Gauge(MetricAvailableWorkers, "Workers currently available."),
+			busyGauge:  reg.Gauge(MetricBusyWorkers, "Workers on dispatched, unrated tasks."),
+			openGauge:  reg.Gauge(MetricOpenTasks, "Tasks currently open."),
+			scoreGauge: reg.Gauge(MetricTotalScore, "Cumulative cooperation score."),
+		},
 	}
 	if p.clock == nil {
 		batch := 0.0
@@ -82,6 +145,18 @@ func NewPlatform(cfg Config) (*Platform, error) {
 		p.advance = func() { batch++ }
 	}
 	return p, nil
+}
+
+// Metrics returns the platform's metrics registry (the one GET /metrics
+// serves).
+func (p *Platform) Metrics() *metrics.Registry { return p.metrics }
+
+// syncGauges refreshes the state gauges. Callers must hold p.mu.
+func (p *Platform) syncGauges() {
+	p.pm.availGauge.Set(float64(len(p.workers)))
+	p.pm.busyGauge.Set(float64(p.busyCount))
+	p.pm.openGauge.Set(float64(len(p.tasks)))
+	p.pm.scoreGauge.Set(p.totalScore)
 }
 
 // RegisterWorker adds an available worker and returns its ID.
@@ -97,6 +172,8 @@ func (p *Platform) RegisterWorker(loc geo.Point, speed, radius float64) (int, er
 	p.workers[id] = model.Worker{
 		ID: id, Loc: loc, Speed: speed, Radius: radius, Arrive: p.clock(),
 	}
+	p.pm.registered.Inc()
+	p.syncGauges()
 	return id, nil
 }
 
@@ -116,6 +193,8 @@ func (p *Platform) PostTask(loc geo.Point, capacity int, deadline float64) (int,
 	p.tasks[id] = model.Task{
 		ID: id, Loc: loc, Capacity: capacity, Created: p.clock(), Deadline: deadline,
 	}
+	p.pm.posted.Inc()
+	p.syncGauges()
 	return id, nil
 }
 
@@ -145,6 +224,7 @@ func (p *Platform) RunBatch(ctx context.Context, solverName string) (*BatchResul
 	if err != nil {
 		return nil, err
 	}
+	solver = assign.Instrument(solver, p.metrics)
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	now := p.clock()
@@ -196,6 +276,7 @@ func (p *Platform) RunBatch(ctx context.Context, solverName string) (*BatchResul
 			grp.ids = append(grp.ids, workerID)
 			grp.workers = append(grp.workers, p.workers[workerID])
 			delete(p.workers, workerID)
+			p.busyCount++
 			res.Pairs = append(res.Pairs, model.Pair{Worker: workerID, Task: taskID})
 		}
 		sort.Ints(grp.ids)
@@ -213,6 +294,11 @@ func (p *Platform) RunBatch(ctx context.Context, solverName string) (*BatchResul
 	p.totalScore += res.Score
 	p.batches++
 	p.dispatchedTasks += res.DispatchedTasks
+	p.pm.batches.Inc()
+	p.pm.dispatched.Add(uint64(res.DispatchedTasks))
+	p.pm.pairs.Add(uint64(len(res.Pairs)))
+	p.pm.expired.Add(uint64(res.ExpiredTasks))
+	p.syncGauges()
 	if p.advance != nil {
 		p.advance()
 	}
@@ -250,6 +336,9 @@ func (p *Platform) RateTask(taskID int, score float64) error {
 		w.Arrive = p.clock()
 		p.workers[w.ID] = w
 	}
+	p.busyCount -= len(grp.workers)
+	p.pm.ratings.Inc()
+	p.syncGauges()
 	return nil
 }
 
