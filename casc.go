@@ -44,6 +44,7 @@ import (
 	"casc/internal/meetup"
 	"casc/internal/model"
 	"casc/internal/online"
+	"casc/internal/partition"
 	"casc/internal/roadnet"
 	"casc/internal/server"
 	"casc/internal/trace"
@@ -125,6 +126,29 @@ func NewExact() *assign.Exact { return assign.NewExact() }
 func NewPortfolio(names []string, seed int64) (*assign.Portfolio, error) {
 	return assign.NewPortfolio(names, seed)
 }
+
+// Decomposition and component-parallel solving.
+type (
+	// ParallelOptions configures the decomposing decorator.
+	ParallelOptions = assign.ParallelOptions
+	// InstanceComponent is one connected component of an instance's
+	// worker–task validity graph.
+	InstanceComponent = partition.Component
+	// SubIndex lifts sub-instance assignments back to the parent (see
+	// Instance.SubInstance).
+	SubIndex = model.SubIndex
+)
+
+// NewParallel wraps a solver so every instance is decomposed into the
+// connected components of its validity graph and the components are solved
+// concurrently on a bounded pool, with deterministic per-component seeds.
+func NewParallel(inner Solver, opts ParallelOptions) *assign.Parallel {
+	return assign.NewParallel(inner, opts)
+}
+
+// Components returns the independent connected components of the
+// instance's validity graph, largest first.
+func Components(in *Instance) []InstanceComponent { return partition.Components(in) }
 
 // SolverByName resolves TPG, GT, GT+LUB, GT+TSI, GT+ALL, MFLOW, RAND or WST.
 func SolverByName(name string, seed int64) (Solver, error) { return assign.ByName(name, seed) }

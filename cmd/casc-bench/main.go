@@ -12,6 +12,8 @@
 //	casc-bench -exp workers -csv        # CSV instead of aligned tables
 //	casc-bench -exp workers -json       # also write BENCH_workers.json
 //	casc-bench -exp all -metrics m.json # dump final metrics snapshot
+//	casc-bench -exp workers -parallel   # decomposed component-parallel solves
+//	casc-bench -exp all -cpuprofile cpu.pprof
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -30,6 +33,15 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "casc-bench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run carries the whole program so deferred cleanup (the CPU profile stop
+// in particular) survives error exits.
+func run() error {
 	var (
 		exp      = flag.String("exp", "all", "experiment: capacity|speed|radius|deadline|epsilon|workers|tasks|distribution|optgap|anytime|sources|all|extra|settings")
 		rounds   = flag.Int("rounds", workload.DefaultRounds, "rounds R per sweep point")
@@ -42,18 +54,36 @@ func main() {
 		bjson    = flag.Bool("json", false, "write BENCH_<experiment>.json per experiment (solver, n, mean/p50/p95 latency, score)")
 		jsonDir  = flag.String("json-dir", ".", "directory for BENCH_*.json files")
 		metricsF = flag.String("metrics", "", "write the final metrics snapshot as JSON to this file")
+		parallel = flag.Bool("parallel", false, "decompose each batch into connected components and solve them concurrently")
+		workers  = flag.Int("workers", 0, "component worker pool under -parallel (0: GOMAXPROCS)")
+		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 	)
 	flag.Parse()
 
 	if *exp == "settings" {
 		printSettings()
-		return
+		return nil
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	opt := harness.Options{Rounds: *rounds, Seed: *seed, Scale: *scale}
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	opt := harness.Options{
+		Rounds: *rounds, Seed: *seed, Scale: *scale,
+		Parallel: *parallel, Workers: *workers,
+	}
 	if *solvers != "" {
 		opt.Solvers = strings.Split(*solvers, ",")
 	}
@@ -76,31 +106,26 @@ func main() {
 		start := time.Now()
 		s, err := harness.Run(ctx, name, opt)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "casc-bench: %s: %v\n", name, err)
-			os.Exit(1)
+			return fmt.Errorf("%s: %w", name, err)
 		}
 		if *csv {
 			if err := s.CSV(os.Stdout); err != nil {
-				fmt.Fprintf(os.Stderr, "casc-bench: %v\n", err)
-				os.Exit(1)
+				return err
 			}
 		} else {
 			if err := s.Render(os.Stdout); err != nil {
-				fmt.Fprintf(os.Stderr, "casc-bench: %v\n", err)
-				os.Exit(1)
+				return err
 			}
 			if *chart {
 				if err := s.Chart(os.Stdout); err != nil {
-					fmt.Fprintf(os.Stderr, "casc-bench: %v\n", err)
-					os.Exit(1)
+					return err
 				}
 			}
 		}
 		if *bjson {
 			path, err := s.BenchFile(opt).SaveBench(*jsonDir)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "casc-bench: %v\n", err)
-				os.Exit(1)
+				return err
 			}
 			if !*quiet {
 				fmt.Fprintf(os.Stderr, "wrote %s\n", path)
@@ -112,13 +137,13 @@ func main() {
 	}
 	if *metricsF != "" {
 		if err := saveMetrics(*metricsF, reg); err != nil {
-			fmt.Fprintf(os.Stderr, "casc-bench: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "wrote %s\n", *metricsF)
 		}
 	}
+	return nil
 }
 
 // saveMetrics dumps the registry snapshot as indented JSON.

@@ -42,10 +42,19 @@ func main() {
 		omega    = flag.Float64("omega", 0.5, "Equation 1 base quality ω")
 		snapshot = flag.String("snapshot", "", "state file: loaded at startup, saved on shutdown")
 		pprofF   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		parallel = flag.Bool("parallel", false, "decompose each batch into connected components and solve them concurrently")
+		workers  = flag.Int("workers", 0, "component worker pool under -parallel (0: GOMAXPROCS)")
 	)
 	flag.Parse()
 
-	p, err := buildPlatform(*snapshot, server.Config{B: *b, Alpha: *alpha, Omega: *omega, EnablePprof: *pprofF})
+	parallelism := 0
+	if *parallel {
+		parallelism = *workers
+		if parallelism <= 0 {
+			parallelism = -1 // server.Config: negative selects GOMAXPROCS
+		}
+	}
+	p, err := buildPlatform(*snapshot, server.Config{B: *b, Alpha: *alpha, Omega: *omega, EnablePprof: *pprofF, Parallelism: parallelism})
 	if err != nil {
 		log.Fatal(err)
 	}

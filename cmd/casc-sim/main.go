@@ -47,6 +47,8 @@ func main() {
 		road     = flag.Bool("road", false, "use a road-network travel model instead of Euclidean")
 		traceF   = flag.String("trace", "", "with -rounds: record per-batch JSONL trace to this file")
 		metricsF = flag.String("metrics", "", "write the final metrics snapshot as JSON to this file")
+		parallel = flag.Bool("parallel", false, "decompose each batch into connected components and solve them concurrently")
+		workers  = flag.Int("workers", 0, "component worker pool under -parallel (0: GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -66,7 +68,14 @@ func main() {
 		if *data != "" {
 			fatal(fmt.Errorf("-rounds simulation generates its own arrivals; drop -data"))
 		}
-		simulate(ctx, *solver, *compare, *m, *n, *seed, *rounds, kind, *traceF, reg)
+		par := 0
+		if *parallel {
+			par = *workers
+			if par <= 0 {
+				par = -1 // batch.Config: negative selects GOMAXPROCS
+			}
+		}
+		simulate(ctx, *solver, *compare, *m, *n, *seed, *rounds, kind, *traceF, reg, par)
 		return
 	}
 	in, err := load(*data, *m, *n, *seed, kind)
@@ -97,6 +106,9 @@ func main() {
 		s, err := assign.ByName(name, *seed)
 		if err != nil {
 			fatal(err)
+		}
+		if *parallel {
+			s = assign.NewParallel(s, assign.ParallelOptions{Workers: *workers, Seed: *seed, Metrics: reg})
 		}
 		s = assign.Instrument(s, reg)
 		start := time.Now()
@@ -129,7 +141,7 @@ func main() {
 // simulate runs the Algorithm 1 simulator: fresh worker/task waves each
 // round, carry-over of unserved tasks, busy workers returning after
 // service.
-func simulate(ctx context.Context, solverName string, compare bool, m, n int, seed int64, rounds int, kind model.IndexKind, tracePath string, reg *metrics.Registry) {
+func simulate(ctx context.Context, solverName string, compare bool, m, n int, seed int64, rounds int, kind model.IndexKind, tracePath string, reg *metrics.Registry, parallelism int) {
 	names := []string{solverName}
 	if compare {
 		names = assign.AllNames()
@@ -165,13 +177,15 @@ func simulate(ctx context.Context, solverName string, compare bool, m, n int, se
 			},
 		}
 		res, err := batch.Run(ctx, batch.Config{
-			Solver:   s,
-			Rounds:   rounds,
-			B:        p.B,
-			Index:    kind,
-			Trace:    tw,
-			TraceRun: name,
-			Metrics:  reg,
+			Solver:      s,
+			Rounds:      rounds,
+			B:           p.B,
+			Index:       kind,
+			Trace:       tw,
+			TraceRun:    name,
+			Metrics:     reg,
+			Parallelism: parallelism,
+			Seed:        seed,
 		}, src)
 		if err != nil {
 			fatal(err)

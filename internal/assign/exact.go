@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"casc/internal/model"
+	"casc/internal/partition"
 )
 
 // Exact is a branch-and-bound optimal solver. Like BruteForce it explores
@@ -37,12 +38,53 @@ func NewExact() *Exact { return &Exact{} }
 // Name implements Solver.
 func (s *Exact) Name() string { return "EXACT" }
 
-// Solve implements Solver.
+// Fork implements Forker: the fork carries the node cap; Optimal is
+// per-fork state.
+func (s *Exact) Fork(int64) Solver { return &Exact{MaxNodes: s.MaxNodes} }
+
+// Solve implements Solver. The instance is first split into the connected
+// components of its validity graph (internal/partition) and each component
+// is searched independently — the optimum is additive across components, so
+// this loses nothing while bounding the tractable instance size by the
+// largest component instead of the whole batch. The node budget is shared:
+// components are searched in partition order (largest first) until MaxNodes
+// is exhausted, after which the remaining components still get a
+// best-effort search of whatever budget trickles through (at least the
+// root), and Optimal reports false.
 func (s *Exact) Solve(ctx context.Context, in *model.Instance) (*model.Assignment, error) {
 	maxNodes := s.MaxNodes
 	if maxNodes <= 0 {
 		maxNodes = 2e7
 	}
+	subs, maps := partition.Decompose(in)
+	a := model.NewAssignment(in)
+	s.Optimal = true
+	remaining := maxNodes
+	for i, sub := range subs {
+		budget := remaining
+		if budget < 1 {
+			budget = 1 // still visit the root so Optimal turns false
+		}
+		best, nodes, optimal := exactSearch(ctx, sub, budget)
+		remaining -= nodes
+		if !optimal {
+			s.Optimal = false
+		}
+		sa := model.NewAssignment(sub)
+		for w, t := range best {
+			if t != model.Unassigned {
+				sa.Assign(w, t)
+			}
+		}
+		maps[i].Lift(sa, a)
+	}
+	return a, nil
+}
+
+// exactSearch runs the Lemma V.2 branch and bound on one (sub-)instance,
+// returning the best worker→task vector found, the nodes expanded, and
+// whether the search closed within maxNodes.
+func exactSearch(ctx context.Context, in *model.Instance, maxNodes int) ([]int, int, bool) {
 	nW := len(in.Workers)
 	bounds := Bounds(in)
 
@@ -70,7 +112,7 @@ func (s *Exact) Solve(ctx context.Context, in *model.Instance) (*model.Assignmen
 	}
 	bestScore := -1.0
 	nodes := 0
-	s.Optimal = true
+	optimal := true
 
 	// score of the current partial assignment counting only closed groups
 	// (≥ B) is recomputed cheaply from the GroupScores on demand.
@@ -99,7 +141,7 @@ func (s *Exact) Solve(ctx context.Context, in *model.Instance) (*model.Assignmen
 	var rec func(pos int)
 	rec = func(pos int) {
 		if nodes >= maxNodes || ctx.Err() != nil {
-			s.Optimal = false
+			optimal = false
 			return
 		}
 		nodes++
@@ -133,12 +175,5 @@ func (s *Exact) Solve(ctx context.Context, in *model.Instance) (*model.Assignmen
 		rec(pos + 1) // leave w unassigned
 	}
 	rec(0)
-
-	a := model.NewAssignment(in)
-	for w, t := range best {
-		if t != model.Unassigned {
-			a.Assign(w, t)
-		}
-	}
-	return a, nil
+	return best, nodes, optimal
 }

@@ -68,6 +68,15 @@ type GT struct {
 // NewGT returns a GT solver with the given options.
 func NewGT(opts GTOptions) *GT { return &GT{opts: opts} }
 
+// Fork implements Forker: the fork shares nothing mutable with the
+// receiver (Stats/Anytime are per-fork) and adopts the derived component
+// seed, which only matters under RandomInit.
+func (s *GT) Fork(seed int64) Solver {
+	opts := s.opts
+	opts.Seed = seed
+	return &GT{opts: opts, Metrics: s.Metrics}
+}
+
 // Name implements Solver.
 func (s *GT) Name() string {
 	switch {

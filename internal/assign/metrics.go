@@ -65,6 +65,17 @@ func Instrument(s Solver, reg *metrics.Registry) Solver {
 		v.Metrics = reg
 	case *TPG:
 		v.Metrics = reg
+	case *Parallel:
+		// The decorator records its component gauges itself, and every
+		// component fork inherits the registry through the inner solver's
+		// Metrics field.
+		v.opts.Metrics = reg
+		switch inner := v.inner.(type) {
+		case *GT:
+			inner.Metrics = reg
+		case *TPG:
+			inner.Metrics = reg
+		}
 	case *instrumented:
 		return v // already wrapped
 	}

@@ -24,6 +24,10 @@ func NewMFlow() *MFlow { return &MFlow{} }
 // Name implements Solver.
 func (s *MFlow) Name() string { return "MFLOW" }
 
+// Fork implements Forker: MFlow keeps no state across Solve calls, so the
+// receiver itself is safe to share.
+func (s *MFlow) Fork(int64) Solver { return s }
+
 // Solve implements Solver.
 func (s *MFlow) Solve(ctx context.Context, in *model.Instance) (*model.Assignment, error) {
 	nW, nT := len(in.Workers), len(in.Tasks)

@@ -1,0 +1,199 @@
+package assign
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"time"
+
+	"casc/internal/metrics"
+	"casc/internal/model"
+	"casc/internal/partition"
+)
+
+// Metric names recorded by the Parallel decorator. All carry a
+// {solver="<inner name>"} label.
+const (
+	// MetricParallelComponents is a gauge: the component count of the most
+	// recent decomposed Solve.
+	MetricParallelComponents = "casc_parallel_components"
+	// MetricParallelComponentSize is a histogram of component node counts
+	// (workers + tasks).
+	MetricParallelComponentSize = "casc_parallel_component_size"
+	// MetricParallelComponentSeconds is a histogram of per-component solve
+	// latency.
+	MetricParallelComponentSeconds = "casc_parallel_component_solve_seconds"
+)
+
+// ComponentSizeBuckets covers component node counts from singleton pairs up
+// to whole-batch scale.
+func ComponentSizeBuckets() []float64 { return metrics.ExponentialBuckets(2, 2, 12) }
+
+// Forker is implemented by solvers that can hand out an independent copy of
+// themselves for one component of a decomposed instance. The copy must not
+// share mutable state with the receiver (Parallel runs forks concurrently);
+// seed is the deterministically derived component seed, which randomized
+// solvers must adopt so results are reproducible regardless of scheduling.
+// Solvers without a Fork are still usable under Parallel — they are
+// serialized behind a mutex and only benefit from the decomposition, not
+// the concurrency.
+type Forker interface {
+	Fork(seed int64) Solver
+}
+
+// ParallelOptions configures the Parallel decorator.
+type ParallelOptions struct {
+	// Workers bounds the component worker pool. Zero or negative selects
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// Seed is the parent seed that per-component seeds are derived from
+	// (see ComponentSeed).
+	Seed int64
+	// Metrics, when non-nil, receives the component count gauge and the
+	// component-size and per-component latency histograms.
+	Metrics *metrics.Registry
+}
+
+// Parallel decomposes every instance into the connected components of its
+// validity graph (see internal/partition) and solves them concurrently on a
+// bounded worker pool, merging the sub-assignments back into one valid
+// assignment over the parent. Because Q(T) is additive over tasks and no
+// constraint crosses component boundaries, the merge is exactly as good as
+// the component-wise solves — and for deterministic inner solvers whose
+// decisions depend only on index order within a component (TPG, GT, GT+LUB,
+// EXACT) the merged result is identical to the monolithic one.
+//
+// Name is transparent (it reports the inner solver's name), so Parallel
+// composes with Instrument and the harness tables exactly like the bare
+// solver.
+type Parallel struct {
+	inner Solver
+	opts  ParallelOptions
+	// mu serializes Solve calls on non-Forker inner solvers, which may
+	// carry mutable per-Solve state.
+	mu sync.Mutex
+}
+
+// NewParallel wraps inner in the decomposing decorator.
+func NewParallel(inner Solver, opts ParallelOptions) *Parallel {
+	return &Parallel{inner: inner, opts: opts}
+}
+
+// Name implements Solver; it is transparent like Instrument's wrapper.
+func (p *Parallel) Name() string { return p.inner.Name() }
+
+// Inner returns the wrapped solver.
+func (p *Parallel) Inner() Solver { return p.inner }
+
+// splitmix64 is the standard SplitMix64 finalizer — a cheap, well-mixed
+// bijection used to spread (parent seed, component key) pairs across the
+// seed space.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// ComponentSeed derives the seed of the component whose lowest parent task
+// position is key. The derivation depends only on the parent seed and the
+// component's identity — never on scheduling or component order — so a
+// randomized solver produces the same per-component stream no matter how
+// the pool interleaves.
+func ComponentSeed(parent int64, key int) int64 {
+	return int64(splitmix64(uint64(parent) ^ splitmix64(uint64(key))))
+}
+
+// Solve implements Solver. Cancellation mid-fan-out leaves the remaining
+// components unassigned: the merged assignment is still valid (per the
+// Solver contract each component solve is itself a valid partial), just
+// partial. The first error from any component solve is returned alongside
+// whatever merged without error.
+func (p *Parallel) Solve(ctx context.Context, in *model.Instance) (*model.Assignment, error) {
+	merged := model.NewAssignment(in)
+	comps := partition.Components(in)
+
+	var sizeH, latH *metrics.Histogram
+	if reg := p.opts.Metrics; reg != nil {
+		lbl := metrics.L("solver", p.Name())
+		reg.Gauge(MetricParallelComponents,
+			"Connected components in the most recent decomposed solve.", lbl).
+			Set(float64(len(comps)))
+		sizeH = reg.Histogram(MetricParallelComponentSize,
+			"Component node count (workers + tasks).", ComponentSizeBuckets(), lbl)
+		latH = reg.Histogram(MetricParallelComponentSeconds,
+			"Per-component solve latency in seconds.", metrics.LatencyBuckets(), lbl)
+	}
+	if len(comps) == 0 {
+		return merged, nil
+	}
+
+	workers := p.opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(comps) {
+		workers = len(comps)
+	}
+
+	results := make([]*model.Assignment, len(comps))
+	maps := make([]*model.SubIndex, len(comps))
+	errs := make([]error, len(comps))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer wg.Done()
+			for ci := range jobs {
+				// One poll per component bounds the cancellation reaction
+				// even when the inner solver's own polls are sparse; a
+				// skipped component simply stays unassigned in the merge.
+				if ctx.Err() != nil {
+					continue
+				}
+				c := comps[ci]
+				sub, m := in.SubInstance(c.Workers, c.Tasks)
+				start := time.Now()
+				a, err := p.solveComponent(ctx, sub, ComponentSeed(p.opts.Seed, c.Key()))
+				if latH != nil {
+					latH.Observe(time.Since(start).Seconds())
+				}
+				if sizeH != nil {
+					sizeH.Observe(float64(c.Size()))
+				}
+				results[ci], maps[ci], errs[ci] = a, m, err
+			}
+		}()
+	}
+	for ci := range comps {
+		jobs <- ci
+	}
+	close(jobs)
+	wg.Wait()
+
+	var firstErr error
+	for ci := range comps {
+		if errs[ci] != nil {
+			if firstErr == nil {
+				firstErr = errs[ci]
+			}
+			continue
+		}
+		if results[ci] != nil {
+			maps[ci].Lift(results[ci], merged)
+		}
+	}
+	return merged, firstErr
+}
+
+// solveComponent runs one component through a fork of the inner solver, or
+// through the shared inner under the mutex when it cannot fork.
+func (p *Parallel) solveComponent(ctx context.Context, sub *model.Instance, seed int64) (*model.Assignment, error) {
+	if f, ok := p.inner.(Forker); ok {
+		return f.Fork(seed).Solve(ctx, sub)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.inner.Solve(ctx, sub)
+}

@@ -22,6 +22,10 @@ func NewRandom(seed int64) *Random { return &Random{seed: seed} }
 // Name implements Solver.
 func (s *Random) Name() string { return "RAND" }
 
+// Fork implements Forker: the fork adopts the derived component seed, so a
+// decomposed RAND run is reproducible regardless of pool scheduling.
+func (s *Random) Fork(seed int64) Solver { return NewRandom(seed) }
+
 // Solve implements Solver.
 func (s *Random) Solve(ctx context.Context, in *model.Instance) (*model.Assignment, error) {
 	r := stats.NewRNG(s.seed)

@@ -37,6 +37,11 @@ func NewTPG() *TPG { return &TPG{} }
 // Name implements Solver.
 func (s *TPG) Name() string { return "TPG" }
 
+// Fork implements Forker: TPG is deterministic, so the fork just carries
+// the configuration (and the shared, concurrency-safe metrics registry)
+// while leaving no mutable state in common.
+func (s *TPG) Fork(int64) Solver { return &TPG{SeedLimit: s.SeedLimit, Metrics: s.Metrics} }
+
 // tpgCounters accumulates per-Solve instrumentation locally so the hot
 // loops pay plain integer increments, flushed to the registry once.
 type tpgCounters struct {

@@ -22,6 +22,9 @@ func NewWST() *WST { return &WST{} }
 // Name implements Solver.
 func (s *WST) Name() string { return "WST" }
 
+// Fork implements Forker: WST is stateless.
+func (s *WST) Fork(int64) Solver { return s }
+
 // Solve implements Solver.
 func (s *WST) Solve(ctx context.Context, in *model.Instance) (*model.Assignment, error) {
 	groups := newGroups(in)

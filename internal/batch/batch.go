@@ -115,6 +115,15 @@ type Config struct {
 	// the structured replacement for reading BatchStats.Elapsed by hand;
 	// the field stays for backward compatibility.
 	Metrics *metrics.Registry
+	// Parallelism, when non-zero, wraps Solver in assign.NewParallel so
+	// every batch instance is decomposed into the connected components of
+	// its validity graph and the components are solved concurrently:
+	// positive values bound the worker pool, negative values use
+	// runtime.GOMAXPROCS(0). Zero keeps the monolithic solve.
+	Parallelism int
+	// Seed feeds per-component seed derivation under Parallelism (only
+	// randomized solvers notice).
+	Seed int64
 }
 
 // BatchStats records one batch of the simulation.
@@ -210,6 +219,17 @@ func Run(ctx context.Context, cfg Config, src Source) (*Result, error) {
 	}
 	quality := src.Quality()
 	solver := cfg.Solver
+	if cfg.Parallelism != 0 {
+		workers := cfg.Parallelism
+		if workers < 0 {
+			workers = 0 // NewParallel resolves 0 to GOMAXPROCS
+		}
+		solver = assign.NewParallel(solver, assign.ParallelOptions{
+			Workers: workers,
+			Seed:    cfg.Seed,
+			Metrics: cfg.Metrics,
+		})
+	}
 	em := newEngineMetrics(cfg.Metrics, cfg.Solver.Name())
 	if cfg.Metrics != nil {
 		solver = assign.Instrument(solver, cfg.Metrics)

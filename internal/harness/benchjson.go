@@ -29,13 +29,18 @@ type BenchEntry struct {
 
 // BenchFile is the top-level BENCH_<experiment>.json document.
 type BenchFile struct {
-	Experiment string       `json:"experiment"`
-	Figure     string       `json:"figure,omitempty"`
-	XLabel     string       `json:"x_label"`
-	Rounds     int          `json:"rounds"`
-	Seed       int64        `json:"seed"`
-	Scale      float64      `json:"scale"`
-	Entries    []BenchEntry `json:"entries"`
+	Experiment string  `json:"experiment"`
+	Figure     string  `json:"figure,omitempty"`
+	XLabel     string  `json:"x_label"`
+	Rounds     int     `json:"rounds"`
+	Seed       int64   `json:"seed"`
+	Scale      float64 `json:"scale"`
+	// Parallel and Workers record whether the run solved decomposed
+	// components concurrently, so BENCH files from decomposed and
+	// monolithic runs are distinguishable in the perf trajectory.
+	Parallel bool         `json:"parallel,omitempty"`
+	Workers  int          `json:"workers,omitempty"`
+	Entries  []BenchEntry `json:"entries"`
 }
 
 // quantile returns the q-quantile of the samples by linear interpolation
@@ -105,6 +110,8 @@ func (s *Series) BenchFile(opt Options) *BenchFile {
 		Rounds:     opt.Rounds,
 		Seed:       opt.Seed,
 		Scale:      opt.Scale,
+		Parallel:   opt.Parallel,
+		Workers:    opt.Workers,
 		Entries:    s.BenchEntries(),
 	}
 }

@@ -68,6 +68,25 @@ type Options struct {
 	// solve the experiment performs (latency/score histograms plus the
 	// GT/TPG internals), so a bench run doubles as a metrics datapoint.
 	Metrics *metrics.Registry
+	// Parallel decomposes every batch into the connected components of its
+	// validity graph and solves them concurrently (assign.NewParallel), so
+	// experiments can be rerun decomposed-vs-monolithic.
+	Parallel bool
+	// Workers bounds the component pool under Parallel (0: GOMAXPROCS).
+	Workers int
+}
+
+// parallelize wraps s in the decomposing decorator when Parallel is set;
+// otherwise it returns s untouched.
+func (o Options) parallelize(s assign.Solver) assign.Solver {
+	if !o.Parallel {
+		return s
+	}
+	return assign.NewParallel(s, assign.ParallelOptions{
+		Workers: o.Workers,
+		Seed:    o.Seed,
+		Metrics: o.Metrics,
+	})
 }
 
 func (o Options) withDefaults() Options {
@@ -187,7 +206,7 @@ func sweepPoint(ctx context.Context, label string, opt Options, mk instanceMaker
 			if err != nil {
 				return pt, err
 			}
-			solver = assign.Instrument(solver, opt.Metrics)
+			solver = assign.Instrument(opt.parallelize(solver), opt.Metrics)
 			start := time.Now()
 			a, err := solver.Solve(ctx, in)
 			elapsed := time.Since(start).Seconds()
@@ -387,7 +406,7 @@ func runOptGap(ctx context.Context, opt Options) (*Series, error) {
 				if err != nil {
 					return series, err
 				}
-				s = assign.Instrument(s, opt.Metrics)
+				s = assign.Instrument(opt.parallelize(s), opt.Metrics)
 				st := time.Now()
 				a, err := s.Solve(ctx, in)
 				if err != nil {
@@ -567,7 +586,7 @@ func runEpsilon(ctx context.Context, opt Options) (*Series, error) {
 				return series, err
 			}
 			pt.Upper += assign.Upper(in)
-			solver := assign.Instrument(assign.NewGT(assign.GTOptions{Epsilon: eps}), opt.Metrics)
+			solver := assign.Instrument(opt.parallelize(assign.NewGT(assign.GTOptions{Epsilon: eps})), opt.Metrics)
 			start := time.Now()
 			a, err := solver.Solve(ctx, in)
 			elapsed := time.Since(start).Seconds()

@@ -1,0 +1,121 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SubIndex maps a sub-instance produced by Instance.SubInstance back to its
+// parent: position i of the sub-instance corresponds to parent position
+// WorkerIDs[i] (and likewise for tasks). Both slices are ascending, so the
+// relative order of workers and tasks — and therefore every index-order
+// tie-break inside the solvers — is preserved by the remapping.
+type SubIndex struct {
+	WorkerIDs []int
+	TaskIDs   []int
+}
+
+// Lift copies every pair of sub, an assignment over the sub-instance, into
+// dst, an assignment over the parent instance, translating indices through
+// the mapping. It walks TaskWorkers rather than WorkerTask so each lifted
+// group keeps the exact member order the solver committed — group quality
+// is summed in member order, so preserving it keeps decomposed scores
+// bitwise identical to monolithic ones. It panics (via Assignment.Assign)
+// if a lifted worker is already assigned in dst, which can only happen
+// when two sub-instances share a worker — i.e. when the decomposition was
+// not a partition.
+func (m *SubIndex) Lift(sub, dst *Assignment) {
+	for t, ws := range sub.TaskWorkers {
+		for _, w := range ws {
+			dst.Assign(m.WorkerIDs[w], m.TaskIDs[t])
+		}
+	}
+}
+
+// subQuality re-indexes a parent quality model onto sub-instance worker
+// positions, mirroring coop.Subset but at the model layer so SubInstance
+// works with any QualityModel.
+type subQuality struct {
+	base QualityModel
+	ids  []int
+}
+
+func (s subQuality) Quality(i, k int) float64 { return s.base.Quality(s.ids[i], s.ids[k]) }
+func (s subQuality) NumWorkers() int          { return len(s.ids) }
+
+// SubInstance extracts the sub-problem induced by the given parent worker
+// and task positions: a dense instance over copies of those workers and
+// tasks with candidate lists sliced to pairs inside the selection, the
+// quality model re-indexed, and B, Now and Travel carried over. The input
+// index sets may be in any order and are canonicalised ascending; the
+// returned SubIndex lifts sub-assignments back to the parent.
+//
+// Candidates must have been built on the parent (BuildCandidates); the
+// sub-instance's lists are derived from the parent's rather than recomputed,
+// so the (possibly expensive, possibly stateful) Travel function is never
+// re-invoked. A candidate pair whose other endpoint is outside the selection
+// is dropped — callers partitioning along connected components never lose a
+// pair this way.
+func (in *Instance) SubInstance(workerIDs, taskIDs []int) (*Instance, *SubIndex) {
+	if in.WorkerCand == nil {
+		panic("model: SubInstance before BuildCandidates")
+	}
+	wIDs := append([]int(nil), workerIDs...)
+	tIDs := append([]int(nil), taskIDs...)
+	sort.Ints(wIDs)
+	sort.Ints(tIDs)
+
+	// Parent position → sub position (-1: outside the selection).
+	taskLocal := make([]int, len(in.Tasks))
+	for i := range taskLocal {
+		taskLocal[i] = -1
+	}
+	for j, t := range tIDs {
+		if t < 0 || t >= len(in.Tasks) {
+			panic(fmt.Sprintf("model: SubInstance task index %d out of range [0,%d)", t, len(in.Tasks)))
+		}
+		if taskLocal[t] != -1 {
+			panic(fmt.Sprintf("model: SubInstance duplicate task index %d", t))
+		}
+		taskLocal[t] = j
+	}
+
+	sub := &Instance{
+		Workers:    make([]Worker, len(wIDs)),
+		Tasks:      make([]Task, len(tIDs)),
+		Quality:    subQuality{base: in.Quality, ids: wIDs},
+		B:          in.B,
+		Now:        in.Now,
+		Travel:     in.Travel,
+		WorkerCand: make([][]int, len(wIDs)),
+		TaskCand:   make([][]int, len(tIDs)),
+	}
+	for j, t := range tIDs {
+		sub.Tasks[j] = in.Tasks[t]
+	}
+	seen := make(map[int]bool, len(wIDs))
+	for i, w := range wIDs {
+		if w < 0 || w >= len(in.Workers) {
+			panic(fmt.Sprintf("model: SubInstance worker index %d out of range [0,%d)", w, len(in.Workers)))
+		}
+		if seen[w] {
+			panic(fmt.Sprintf("model: SubInstance duplicate worker index %d", w))
+		}
+		seen[w] = true
+		sub.Workers[i] = in.Workers[w]
+		cand := make([]int, 0, len(in.WorkerCand[w]))
+		for _, t := range in.WorkerCand[w] {
+			if j := taskLocal[t]; j != -1 {
+				cand = append(cand, j)
+			}
+		}
+		sub.WorkerCand[i] = cand
+		// Parent lists are ascending and the remap is monotone, so the sub
+		// lists come out ascending too; TaskCand below inherits worker order
+		// the same way BuildCandidates emits it.
+		for _, j := range cand {
+			sub.TaskCand[j] = append(sub.TaskCand[j], i)
+		}
+	}
+	return sub, &SubIndex{WorkerIDs: wIDs, TaskIDs: tIDs}
+}

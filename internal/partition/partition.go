@@ -1,0 +1,145 @@
+// Package partition decomposes a batch instance into the connected
+// components of its worker–task validity graph. The paper's objective Q(T)
+// (Equation 3) is additive over tasks and every constraint — capacity,
+// working area, deadline — only couples workers that share a candidate
+// task, so the components are genuinely independent: solving each in
+// isolation and merging loses nothing against solving the whole instance.
+package partition
+
+import (
+	"sort"
+
+	"casc/internal/model"
+)
+
+// Component is one connected component of the worker–task validity graph.
+// Workers and Tasks hold parent instance positions, ascending; Pairs counts
+// the valid worker-and-task pairs inside the component.
+type Component struct {
+	Workers []int
+	Tasks   []int
+	Pairs   int
+}
+
+// Size is the node count of the component, the load-balance proxy used to
+// order components largest first.
+func (c Component) Size() int { return len(c.Workers) + len(c.Tasks) }
+
+// Key is the component's lowest parent task position — a scheduling- and
+// ordering-independent identity used for deterministic tie-breaks and
+// per-component seed derivation.
+func (c Component) Key() int { return c.Tasks[0] }
+
+// Components returns the connected components of the instance's validity
+// graph, computed by union-find over the candidate lists. Only components
+// containing at least one valid pair are emitted: an isolated worker or
+// task can never be assigned, so dropping it loses nothing. The result is
+// deterministic — ordered largest Size first (for load balance when
+// components are solved on a bounded pool), ties broken by lowest Key —
+// and requires candidates to have been built on the instance.
+func Components(in *model.Instance) []Component {
+	if in.WorkerCand == nil {
+		panic("partition: Components before BuildCandidates")
+	}
+	nW, nT := len(in.Workers), len(in.Tasks)
+	// Node layout: workers [0,nW), tasks [nW,nW+nT).
+	uf := newUnionFind(nW + nT)
+	pairs := 0
+	for w, cand := range in.WorkerCand {
+		for _, t := range cand {
+			uf.union(w, nW+t)
+			pairs++
+		}
+	}
+	if pairs == 0 {
+		return nil
+	}
+	byRoot := make(map[int]*Component)
+	comp := func(node int) *Component {
+		root := uf.find(node)
+		c := byRoot[root]
+		if c == nil {
+			c = &Component{}
+			byRoot[root] = c
+		}
+		return c
+	}
+	// Ascending scan order keeps each component's Workers/Tasks ascending
+	// without a sort, which is what SubInstance and the tie-break
+	// equivalence arguments rely on.
+	for w := 0; w < nW; w++ {
+		if len(in.WorkerCand[w]) == 0 {
+			continue
+		}
+		c := comp(w)
+		c.Workers = append(c.Workers, w)
+		c.Pairs += len(in.WorkerCand[w])
+	}
+	for t := 0; t < nT; t++ {
+		if len(in.TaskCand[t]) == 0 {
+			continue
+		}
+		comp(nW + t).Tasks = append(comp(nW+t).Tasks, t)
+	}
+	out := make([]Component, 0, len(byRoot))
+	for _, c := range byRoot {
+		out = append(out, *c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Size() != out[j].Size() {
+			return out[i].Size() > out[j].Size()
+		}
+		return out[i].Key() < out[j].Key()
+	})
+	return out
+}
+
+// Decompose builds the sub-instance of every component along with the
+// mapping that lifts its assignments back to the parent, in Components
+// order. It is a convenience for callers (like the exact solver) that want
+// the split without managing a worker pool.
+func Decompose(in *model.Instance) ([]*model.Instance, []*model.SubIndex) {
+	comps := Components(in)
+	subs := make([]*model.Instance, len(comps))
+	maps := make([]*model.SubIndex, len(comps))
+	for i, c := range comps {
+		subs[i], maps[i] = in.SubInstance(c.Workers, c.Tasks)
+	}
+	return subs, maps
+}
+
+// unionFind is a classic disjoint-set forest with union by size and path
+// halving.
+type unionFind struct {
+	parent []int
+	size   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), size: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+		uf.size[i] = 1
+	}
+	return uf
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	if u.size[ra] < u.size[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	u.size[ra] += u.size[rb]
+}

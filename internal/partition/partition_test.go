@@ -1,0 +1,215 @@
+package partition
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"casc/internal/coop"
+	"casc/internal/geo"
+	"casc/internal/model"
+)
+
+// randomInstance builds a well-connected random CA-SC batch.
+func randomInstance(r *rand.Rand, nW, nT, b int) *model.Instance {
+	in := &model.Instance{
+		Quality: coop.Synthetic{N: nW, Seed: uint64(r.Int63())},
+		B:       b,
+	}
+	for i := 0; i < nW; i++ {
+		in.Workers = append(in.Workers, model.Worker{
+			ID:     i,
+			Loc:    geo.Pt(r.Float64(), r.Float64()),
+			Speed:  0.02 + r.Float64()*0.08,
+			Radius: 0.1 + r.Float64()*0.2,
+		})
+	}
+	for j := 0; j < nT; j++ {
+		in.Tasks = append(in.Tasks, model.Task{
+			ID:       j,
+			Loc:      geo.Pt(r.Float64(), r.Float64()),
+			Capacity: b + r.Intn(3),
+			Deadline: 2 + r.Float64()*3,
+		})
+	}
+	in.BuildCandidates(model.IndexRTree)
+	return in
+}
+
+// clusteredInstance builds an instance whose validity graph splits into
+// exactly `clusters` components: workers and tasks are scattered inside
+// small spatial clusters whose centers sit ≥ 0.25 apart on a grid, while
+// every working area is ≤ 0.1 — so no worker reaches another cluster's
+// tasks. Worker and task slice positions are interleaved round-robin
+// across clusters so components are non-contiguous index sets.
+func clusteredInstance(r *rand.Rand, clusters, wPer, tPer, b int) *model.Instance {
+	cols := 1
+	for cols*cols < clusters {
+		cols++
+	}
+	centers := make([]geo.Point, clusters)
+	for c := range centers {
+		centers[c] = geo.Pt(0.125+0.25*float64(c%cols), 0.125+0.25*float64(c/cols))
+	}
+	jitter := func(c int) geo.Point {
+		return geo.Pt(centers[c].X+(r.Float64()-0.5)*0.08, centers[c].Y+(r.Float64()-0.5)*0.08)
+	}
+	in := &model.Instance{
+		Quality: coop.Synthetic{N: clusters * wPer, Seed: uint64(r.Int63())},
+		B:       b,
+	}
+	for i := 0; i < clusters*wPer; i++ {
+		in.Workers = append(in.Workers, model.Worker{
+			ID:     i,
+			Loc:    jitter(i % clusters),
+			Speed:  0.05 + r.Float64()*0.05,
+			Radius: 0.09 + r.Float64()*0.01,
+		})
+	}
+	for j := 0; j < clusters*tPer; j++ {
+		in.Tasks = append(in.Tasks, model.Task{
+			ID:       j,
+			Loc:      jitter(j % clusters),
+			Capacity: b + r.Intn(2),
+			Deadline: 5 + r.Float64()*5,
+		})
+	}
+	in.BuildCandidates(model.IndexRTree)
+	return in
+}
+
+func TestComponentsPartitionValidityGraph(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	in := randomInstance(r, 120, 40, 3)
+	comps := Components(in)
+	if len(comps) == 0 {
+		t.Fatal("no components on a connected instance")
+	}
+	workerComp := make(map[int]int)
+	taskComp := make(map[int]int)
+	pairs := 0
+	for ci, c := range comps {
+		if len(c.Workers) == 0 || len(c.Tasks) == 0 {
+			t.Fatalf("component %d lacks workers or tasks", ci)
+		}
+		if !sort.IntsAreSorted(c.Workers) || !sort.IntsAreSorted(c.Tasks) {
+			t.Fatalf("component %d members not ascending", ci)
+		}
+		for _, w := range c.Workers {
+			if prev, dup := workerComp[w]; dup {
+				t.Fatalf("worker %d in components %d and %d", w, prev, ci)
+			}
+			workerComp[w] = ci
+		}
+		for _, task := range c.Tasks {
+			if prev, dup := taskComp[task]; dup {
+				t.Fatalf("task %d in components %d and %d", task, prev, ci)
+			}
+			taskComp[task] = ci
+		}
+		pairs += c.Pairs
+	}
+	if pairs != in.NumValidPairs() {
+		t.Fatalf("components cover %d pairs, instance has %d", pairs, in.NumValidPairs())
+	}
+	// Every valid pair stays inside one component, and every endpoint with
+	// a candidate is covered.
+	for w, cand := range in.WorkerCand {
+		if len(cand) == 0 {
+			if _, ok := workerComp[w]; ok {
+				t.Fatalf("isolated worker %d emitted", w)
+			}
+			continue
+		}
+		for _, task := range cand {
+			if workerComp[w] != taskComp[task] {
+				t.Fatalf("pair (%d,%d) straddles components %d and %d", w, task, workerComp[w], taskComp[task])
+			}
+		}
+	}
+}
+
+func TestComponentsDeterministicOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	in := clusteredInstance(r, 9, 10, 4, 2)
+	comps := Components(in)
+	for i := 1; i < len(comps); i++ {
+		if comps[i].Size() > comps[i-1].Size() {
+			t.Fatalf("component %d (size %d) after smaller %d (size %d)", i, comps[i].Size(), i-1, comps[i-1].Size())
+		}
+		if comps[i].Size() == comps[i-1].Size() && comps[i].Key() < comps[i-1].Key() {
+			t.Fatalf("size tie broken against key order at %d", i)
+		}
+	}
+	for try := 0; try < 3; try++ {
+		if again := Components(in); !reflect.DeepEqual(comps, again) {
+			t.Fatal("Components is not deterministic")
+		}
+	}
+}
+
+func TestClusteredComponents(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	const clusters = 9
+	in := clusteredInstance(r, clusters, 12, 5, 2)
+	comps := Components(in)
+	if len(comps) < clusters {
+		t.Fatalf("%d components, want ≥ %d (clusters may have split further, never merged)", len(comps), clusters)
+	}
+	// No component mixes tasks of different spatial clusters.
+	for ci, c := range comps {
+		cluster := c.Tasks[0] % clusters
+		for _, task := range c.Tasks {
+			if task%clusters != cluster {
+				t.Fatalf("component %d mixes clusters %d and %d", ci, cluster, task%clusters)
+			}
+		}
+	}
+}
+
+func TestComponentsEmpty(t *testing.T) {
+	in := &model.Instance{
+		Workers: []model.Worker{{ID: 0, Loc: geo.Pt(0, 0), Speed: 0.01, Radius: 0.01}},
+		Tasks:   []model.Task{{ID: 0, Loc: geo.Pt(1, 1), Capacity: 2, Deadline: 1}},
+		Quality: coop.Synthetic{N: 1, Seed: 1},
+		B:       2,
+	}
+	in.BuildCandidates(model.IndexLinear)
+	if comps := Components(in); comps != nil {
+		t.Fatalf("expected nil components, got %v", comps)
+	}
+}
+
+func TestDecompose(t *testing.T) {
+	r := rand.New(rand.NewSource(14))
+	in := clusteredInstance(r, 4, 8, 3, 2)
+	subs, maps := Decompose(in)
+	comps := Components(in)
+	if len(subs) != len(comps) || len(maps) != len(comps) {
+		t.Fatalf("Decompose sizes %d/%d, want %d", len(subs), len(maps), len(comps))
+	}
+	total := 0
+	for i, sub := range subs {
+		if err := sub.Validate(); err != nil {
+			t.Fatalf("sub %d invalid: %v", i, err)
+		}
+		if sub.NumValidPairs() != comps[i].Pairs {
+			t.Errorf("sub %d has %d pairs, component says %d", i, sub.NumValidPairs(), comps[i].Pairs)
+		}
+		total += len(sub.Workers)
+	}
+	if want := len(workersWithCandidates(in)); total != want {
+		t.Fatalf("subs cover %d workers, want %d", total, want)
+	}
+}
+
+func workersWithCandidates(in *model.Instance) []int {
+	var out []int
+	for w, cand := range in.WorkerCand {
+		if len(cand) > 0 {
+			out = append(out, w)
+		}
+	}
+	return out
+}

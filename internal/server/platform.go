@@ -22,10 +22,11 @@ import (
 // Platform is the in-memory spatial crowdsourcing platform. All methods
 // are safe for concurrent use.
 type Platform struct {
-	mu      sync.Mutex
-	b       int
-	history *coop.History
-	clock   func() float64
+	mu          sync.Mutex
+	b           int
+	parallelism int // Config.Parallelism
+	history     *coop.History
+	clock       func() float64
 
 	workers      map[int]model.Worker // available workers by ID
 	tasks        map[int]model.Task   // open tasks by ID
@@ -100,6 +101,11 @@ type Config struct {
 	// platform mux. Off by default: profiling endpoints expose internals
 	// and cost CPU, so production deployments opt in explicitly.
 	EnablePprof bool
+	// Parallelism, when non-zero, decomposes each batch into the connected
+	// components of its validity graph and solves them concurrently
+	// (assign.NewParallel): positive values bound the pool, negative use
+	// runtime.GOMAXPROCS(0). The component gauges appear on GET /metrics.
+	Parallelism int
 }
 
 // NewPlatform returns an empty platform.
@@ -115,15 +121,16 @@ func NewPlatform(cfg Config) (*Platform, error) {
 		reg = metrics.NewRegistry()
 	}
 	p := &Platform{
-		b:          cfg.B,
-		history:    coop.NewHistory(0, cfg.Alpha, cfg.Omega),
-		clock:      cfg.Clock,
-		workers:    make(map[int]model.Worker),
-		tasks:      make(map[int]model.Task),
-		dispatched: make(map[int]dispatchedGroup),
-		rated:      make(map[int]bool),
-		metrics:    reg,
-		pprof:      cfg.EnablePprof,
+		b:           cfg.B,
+		parallelism: cfg.Parallelism,
+		history:     coop.NewHistory(0, cfg.Alpha, cfg.Omega),
+		clock:       cfg.Clock,
+		workers:     make(map[int]model.Worker),
+		tasks:       make(map[int]model.Task),
+		dispatched:  make(map[int]dispatchedGroup),
+		rated:       make(map[int]bool),
+		metrics:     reg,
+		pprof:       cfg.EnablePprof,
 		pm: platformMetrics{
 			registered: reg.Counter(MetricWorkersRegistered, "Workers ever registered."),
 			posted:     reg.Counter(MetricTasksPosted, "Tasks ever posted."),
@@ -223,6 +230,16 @@ func (p *Platform) RunBatch(ctx context.Context, solverName string) (*BatchResul
 	solver, err := assign.ByName(solverName, int64(p.batchCount()))
 	if err != nil {
 		return nil, err
+	}
+	if p.parallelism != 0 {
+		workers := p.parallelism
+		if workers < 0 {
+			workers = 0 // NewParallel resolves 0 to GOMAXPROCS
+		}
+		solver = assign.NewParallel(solver, assign.ParallelOptions{
+			Workers: workers,
+			Seed:    int64(p.batchCount()),
+		})
 	}
 	solver = assign.Instrument(solver, p.metrics)
 	p.mu.Lock()
