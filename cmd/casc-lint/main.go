@@ -1,0 +1,167 @@
+// Command casc-lint runs the CASC static-analysis suite (internal/analysis)
+// over the module: five stdlib-only analyzers enforcing the determinism,
+// cancellation and metrics invariants the solver stack depends on.
+//
+// Usage:
+//
+//	casc-lint [-json] [-root dir] [-rules r1,r2] [pattern ...]
+//
+// Patterns are ./... (the default, whole module) or package directories
+// like ./internal/assign or ./internal/... — the module is always analyzed
+// whole (cross-package checks need it) and patterns filter which packages'
+// findings are reported. Exit status: 0 clean, 1 findings, 2 failure.
+//
+// Findings are suppressed inline with a justified comment on the flagged
+// line or the line above:
+//
+//	//casclint:ignore <rule> <reason>
+//
+// The reason is mandatory; a bare suppression is itself reported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"casc/internal/analysis"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON")
+	rootFlag := flag.String("root", "", "module root (default: nearest go.mod above the working directory)")
+	rulesFlag := flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	list := flag.Bool("list", false, "list the rules and exit")
+	flag.Parse()
+
+	if *list {
+		for _, r := range analysis.AllRules() {
+			fmt.Printf("%-12s %s\n", r.Name, r.Doc)
+		}
+		return 0
+	}
+
+	root := *rootFlag
+	if root == "" {
+		wd, err := os.Getwd()
+		if err != nil {
+			return fail(err)
+		}
+		if root, err = analysis.FindModuleRoot(wd); err != nil {
+			return fail(err)
+		}
+	}
+
+	rules, err := selectRules(*rulesFlag)
+	if err != nil {
+		return fail(err)
+	}
+
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		return fail(err)
+	}
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		return fail(err)
+	}
+	diags := analysis.Run(pkgs, analysis.Options{Rules: rules})
+	diags = filterPatterns(root, diags, flag.Args())
+	for i := range diags {
+		if rel, err := filepath.Rel(root, diags[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].File = rel
+		}
+	}
+
+	if *jsonOut {
+		if err := analysis.WriteJSON(os.Stdout, diags); err != nil {
+			return fail(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "casc-lint: %d finding(s)\n", len(diags))
+		}
+		return 1
+	}
+	return 0
+}
+
+func fail(err error) int {
+	fmt.Fprintln(os.Stderr, "casc-lint:", err)
+	return 2
+}
+
+func selectRules(spec string) ([]*analysis.Rule, error) {
+	if spec == "" {
+		return nil, nil // Run defaults to all
+	}
+	byName := make(map[string]*analysis.Rule)
+	for _, r := range analysis.AllRules() {
+		byName[r.Name] = r
+	}
+	var rules []*analysis.Rule
+	for _, name := range strings.Split(spec, ",") {
+		r, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown rule %q (have %s)", name, strings.Join(analysis.RuleNames(), ", "))
+		}
+		rules = append(rules, r)
+	}
+	return rules, nil
+}
+
+// filterPatterns keeps diagnostics under the requested package patterns.
+// "./..." (or no patterns) keeps everything; "./x" keeps package x only;
+// "./x/..." keeps the subtree.
+func filterPatterns(root string, diags []analysis.Diagnostic, patterns []string) []analysis.Diagnostic {
+	if len(patterns) == 0 {
+		return diags
+	}
+	keepAll := false
+	type match struct {
+		dir     string
+		subtree bool
+	}
+	var matches []match
+	for _, pat := range patterns {
+		if pat == "./..." || pat == "..." {
+			keepAll = true
+			continue
+		}
+		subtree := false
+		if strings.HasSuffix(pat, "/...") {
+			subtree = true
+			pat = strings.TrimSuffix(pat, "/...")
+		}
+		matches = append(matches, match{dir: filepath.Clean(pat), subtree: subtree})
+	}
+	if keepAll {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		rel, err := filepath.Rel(root, d.File)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			rel = d.File
+		}
+		dir := filepath.Dir(rel)
+		for _, m := range matches {
+			if dir == m.dir || (m.subtree && strings.HasPrefix(dir+"/", m.dir+"/")) {
+				kept = append(kept, d)
+				break
+			}
+		}
+	}
+	return kept
+}

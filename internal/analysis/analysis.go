@@ -1,0 +1,238 @@
+// Package analysis implements casc-lint, a from-scratch static-analysis
+// suite (go/parser + go/types only, no golang.org/x/tools) that enforces
+// the determinism, cancellation and observability invariants the CA-SC
+// solver stack depends on. Component-parallel solving reproduces the
+// paper's scores only because every solver path is deterministic under a
+// seed; the rules here turn that property — and the cancellation and
+// metrics contracts around it — into machine-checked invariants instead
+// of conventions guarded by flaky seed-equality tests. See DESIGN.md §9.
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"io"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, addressed by file position. File is the path
+// as the loader saw it (absolute); drivers relativize for display.
+type Diagnostic struct {
+	Rule    string `json:"rule"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Message string `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Column, d.Rule, d.Message)
+}
+
+// Rule is one analyzer of the suite.
+type Rule struct {
+	Name string
+	Doc  string
+	// Scope lists import-path suffixes the rule is restricted to; empty
+	// means every package. Options.IgnoreScope bypasses it (used by the
+	// golden tests, whose fixtures live under testdata paths).
+	Scope []string
+	// Check inspects one package and reports findings.
+	Check func(p *Package, r *Reporter)
+	// Finish, if set, runs once after every package has been checked —
+	// for cross-package invariants like metric-name uniqueness.
+	Finish func(report func(pos token.Position, format string, args ...any))
+}
+
+func (rule *Rule) applies(path string) bool {
+	if len(rule.Scope) == 0 {
+		return true
+	}
+	for _, s := range rule.Scope {
+		if strings.HasSuffix(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// AllRules returns a fresh instance of every rule in the suite. Fresh
+// because rules may carry cross-package state (metricname); sharing
+// instances between runs would leak findings.
+func AllRules() []*Rule {
+	return []*Rule{
+		newMapOrder(),
+		newSeededRand(),
+		newCtxLoop(),
+		newMetricName(),
+		newDroppedErr(),
+	}
+}
+
+// RuleNames lists the suite's rule names in presentation order.
+func RuleNames() []string {
+	var names []string
+	for _, r := range AllRules() {
+		names = append(names, r.Name)
+	}
+	return names
+}
+
+// Reporter collects diagnostics for one (package, rule) pair.
+type Reporter struct {
+	pkg  *Package
+	rule string
+	out  *[]Diagnostic
+}
+
+// Report records a finding at the node's position.
+func (r *Reporter) Report(n ast.Node, format string, args ...any) {
+	r.ReportPos(n.Pos(), format, args...)
+}
+
+// ReportPos records a finding at an explicit position.
+func (r *Reporter) ReportPos(pos token.Pos, format string, args ...any) {
+	p := r.pkg.Fset.Position(pos)
+	*r.out = append(*r.out, Diagnostic{
+		Rule:    r.rule,
+		File:    p.Filename,
+		Line:    p.Line,
+		Column:  p.Column,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Options configures Run.
+type Options struct {
+	// Rules is the rule subset to run; nil runs AllRules().
+	Rules []*Rule
+	// IgnoreScope runs every rule on every package regardless of Scope.
+	IgnoreScope bool
+}
+
+// SuppressRule is the pseudo-rule under which malformed
+// //casclint:ignore comments are reported. It cannot itself be
+// suppressed.
+const SuppressRule = "casclint"
+
+// Run executes the rules over the packages, applies inline suppressions,
+// and returns the surviving diagnostics sorted by position.
+func Run(pkgs []*Package, opts Options) []Diagnostic {
+	rules := opts.Rules
+	if rules == nil {
+		rules = AllRules()
+	}
+	var diags []Diagnostic
+	for _, rule := range rules {
+		for _, p := range pkgs {
+			if !opts.IgnoreScope && !rule.applies(p.Path) {
+				continue
+			}
+			rule.Check(p, &Reporter{pkg: p, rule: rule.Name, out: &diags})
+		}
+		if rule.Finish != nil {
+			name := rule.Name
+			rule.Finish(func(pos token.Position, format string, args ...any) {
+				diags = append(diags, Diagnostic{
+					Rule:    name,
+					File:    pos.Filename,
+					Line:    pos.Line,
+					Column:  pos.Column,
+					Message: fmt.Sprintf(format, args...),
+				})
+			})
+		}
+	}
+	diags = applySuppressions(pkgs, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
+	})
+	return diags
+}
+
+// suppressionRE matches //casclint:ignore <rule> <reason>. The reason is
+// mandatory: a suppression without a recorded justification is itself a
+// finding.
+var suppressionRE = regexp.MustCompile(`^//casclint:ignore(?:\s+(\S+))?\s*(.*)$`)
+
+type suppressKey struct {
+	file string
+	line int
+	rule string
+}
+
+// applySuppressions drops diagnostics covered by a well-formed
+// //casclint:ignore comment on the same line or the line directly above,
+// and reports malformed suppression comments under SuppressRule.
+func applySuppressions(pkgs []*Package, diags []Diagnostic) []Diagnostic {
+	index := make(map[suppressKey]bool)
+	var extra []Diagnostic
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := suppressionRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := p.Fset.Position(c.Pos())
+					rule, reason := m[1], strings.TrimSpace(m[2])
+					if rule == "" || reason == "" {
+						extra = append(extra, Diagnostic{
+							Rule: SuppressRule, File: pos.Filename,
+							Line: pos.Line, Column: pos.Column,
+							Message: "malformed suppression: want //casclint:ignore <rule> <reason>",
+						})
+						continue
+					}
+					// A suppression covers its own line (trailing comment)
+					// and the line below (own-line comment).
+					index[suppressKey{pos.Filename, pos.Line, rule}] = true
+					index[suppressKey{pos.Filename, pos.Line + 1, rule}] = true
+				}
+			}
+		}
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if d.Rule != SuppressRule && index[suppressKey{d.File, d.Line, d.Rule}] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return append(kept, extra...)
+}
+
+// Report is the JSON document casc-lint -json emits.
+type Report struct {
+	Version     int          `json:"version"`
+	Diagnostics []Diagnostic `json:"diagnostics"`
+}
+
+// WriteJSON renders diagnostics as the stable -json schema. A nil slice
+// still marshals as an empty array so consumers can index unconditionally.
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	if diags == nil {
+		diags = []Diagnostic{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Report{Version: 1, Diagnostics: diags})
+}

@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestJSONSchema pins the -json output shape: a versioned document whose
+// diagnostics carry rule/file/line/column/message, and an empty run still
+// yields an array (never null).
+func TestJSONSchema(t *testing.T) {
+	diags := []Diagnostic{
+		{Rule: "maporder", File: "internal/assign/tpg.go", Line: 7, Column: 3, Message: "m"},
+	}
+	var b strings.Builder
+	if err := WriteJSON(&b, diags); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if v, ok := doc["version"].(float64); !ok || v != 1 {
+		t.Fatalf("version = %v, want 1", doc["version"])
+	}
+	list, ok := doc["diagnostics"].([]any)
+	if !ok || len(list) != 1 {
+		t.Fatalf("diagnostics = %v, want one entry", doc["diagnostics"])
+	}
+	entry, ok := list[0].(map[string]any)
+	if !ok {
+		t.Fatalf("diagnostic entry is %T, want object", list[0])
+	}
+	for field, val := range map[string]any{
+		"rule": "maporder", "file": "internal/assign/tpg.go",
+		"line": float64(7), "column": float64(3), "message": "m",
+	} {
+		if entry[field] != val {
+			t.Errorf("diagnostic[%q] = %v, want %v", field, entry[field], val)
+		}
+	}
+
+	b.Reset()
+	if err := WriteJSON(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"diagnostics": []`) {
+		t.Fatalf("empty run must marshal diagnostics as [], got:\n%s", b.String())
+	}
+}
+
+// TestRuleNamesUnique guards the registry: suppression comments address
+// rules by name, so names must be distinct and non-empty, and the
+// casclint pseudo-rule must stay reserved.
+func TestRuleNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, r := range AllRules() {
+		if r.Name == "" || r.Name == SuppressRule {
+			t.Errorf("rule has reserved or empty name %q", r.Name)
+		}
+		if seen[r.Name] {
+			t.Errorf("duplicate rule name %q", r.Name)
+		}
+		seen[r.Name] = true
+		if r.Check == nil {
+			t.Errorf("rule %q has no Check", r.Name)
+		}
+		if r.Doc == "" {
+			t.Errorf("rule %q has no Doc", r.Name)
+		}
+	}
+}

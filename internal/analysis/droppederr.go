@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// newDroppedErr builds the droppederr rule: a statement that calls a
+// function whose final result is an error and lets it vanish hides
+// failures the solver stack is expected to surface (the Solver contract
+// threads errors all the way to the harness tables and HTTP handlers).
+// Intentional discards must be spelled `_ = f()` or suppressed with a
+// reason. Calls to fmt and to the never-failing writers (strings.Builder,
+// bytes.Buffer, hash.Hash) are exempt, as is the idiomatic `defer
+// f.Close()` on read paths.
+func newDroppedErr() *Rule {
+	return &Rule{
+		Name:  "droppederr",
+		Doc:   "discarded error return in non-test code",
+		Check: checkDroppedErr,
+	}
+}
+
+// droppedErrExemptRecv lists receiver types whose methods are documented
+// to never return a non-nil error.
+var droppedErrExemptRecv = map[string]bool{
+	"strings.Builder": true,
+	"bytes.Buffer":    true,
+	"hash.Hash":       true,
+	"hash.Hash32":     true,
+	"hash.Hash64":     true,
+}
+
+func checkDroppedErr(p *Package, rep *Reporter) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			deferred := false
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = st.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call, deferred = st.Call, true
+			case *ast.GoStmt:
+				call = st.Call
+			default:
+				return true
+			}
+			if call == nil {
+				return true
+			}
+			sig, ok := p.Info.TypeOf(call.Fun).(*types.Signature)
+			if !ok { // builtin or conversion
+				return true
+			}
+			res := sig.Results()
+			if res.Len() == 0 || !isErrorType(res.At(res.Len()-1).Type()) {
+				return true
+			}
+			if fn := calleeFunc(p, call); fn != nil && droppedErrExempt(fn, deferred) {
+				return true
+			}
+			rep.Report(call, "error return is discarded; handle it or assign to _")
+			return true
+		})
+	}
+}
+
+func droppedErrExempt(fn *types.Func, deferred bool) bool {
+	if pkg := fn.Pkg(); pkg != nil && pkg.Path() == "fmt" {
+		return true
+	}
+	if recv := namedRecv(fn); recv != "" && droppedErrExemptRecv[recv] {
+		return true
+	}
+	return deferred && fn.Name() == "Close"
+}
+
+var errorIface = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, errorIface)
+}

@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// calleeFunc resolves the function or method a call invokes, or nil for
+// builtins, conversions, and calls through function-typed values.
+func calleeFunc(p *Package, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := p.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := p.Info.Selections[fun]; ok {
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		fn, _ := p.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	case *ast.IndexExpr: // generic instantiation f[T](...)
+		if id, ok := fun.X.(*ast.Ident); ok {
+			fn, _ := p.Info.Uses[id].(*types.Func)
+			return fn
+		}
+	}
+	return nil
+}
+
+// isBuiltinCall reports whether the call invokes the named builtin.
+func isBuiltinCall(p *Package, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = p.Info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// identObj returns the object an identifier defines or uses, or nil.
+func identObj(p *Package, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if o := p.Info.Defs[id]; o != nil {
+		return o
+	}
+	return p.Info.Uses[id]
+}
+
+// mentionsObj reports whether any identifier under n resolves to obj.
+func mentionsObj(p *Package, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := c.(*ast.Ident); ok && (p.Info.Uses[id] == obj || p.Info.Defs[id] == obj) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// namedRecv returns "pkgpath.TypeName" for the method's receiver type
+// (pointers dereferenced), or "" if fn is not a method on a named type.
+func namedRecv(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}

@@ -1,0 +1,294 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// newMapOrder builds the maporder rule: inside the solver-stack packages,
+// a range over a map must not let Go's randomized iteration order reach
+// assignment-affecting state. A loop is accepted when its body only
+// performs order-insensitive work — integer accumulation, writes keyed by
+// the (unique) range key, deletes, loop-local scratch — or when it
+// collects into slices that the enclosing function visibly sorts (the
+// sorted-keys idiom). Anything else is a potential determinism leak: the
+// paper's scores (Eq. 2-3) are reproduced bitwise only because no solver
+// decision depends on map order.
+func newMapOrder() *Rule {
+	return &Rule{
+		Name: "maporder",
+		Doc: "range over a map whose body can leak iteration order into " +
+			"solver-visible state without a sorted-keys idiom",
+		Scope: []string{
+			"internal/assign", "internal/partition",
+			"internal/model", "internal/coop",
+		},
+		Check: checkMapOrder,
+	}
+}
+
+func checkMapOrder(p *Package, rep *Reporter) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := p.Info.TypeOf(rs.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				s := &mapOrderScan{p: p, fn: fd.Body, locals: map[types.Object]bool{}}
+				if o := identObj(p, rs.Key); o != nil {
+					s.key = o
+					s.locals[o] = true
+				}
+				if o := identObj(p, rs.Value); o != nil {
+					s.locals[o] = true
+				}
+				s.stmts(rs.Body.List)
+				if s.bad != nil {
+					// Anchor at the range statement — that is where a
+					// suppression or sorted-keys rewrite belongs.
+					bad := p.Fset.Position(s.bad.Pos())
+					rep.Report(rs, "map iteration order may leak: %s (line %d)", s.why, bad.Line)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// mapOrderScan walks one range-over-map body classifying statements as
+// order-insensitive or not; the first offender is recorded in bad/why.
+type mapOrderScan struct {
+	p      *Package
+	fn     *ast.BlockStmt // enclosing function body, searched for sorts
+	key    types.Object   // the range key variable, if named
+	locals map[types.Object]bool
+	bad    ast.Node
+	why    string
+}
+
+func (s *mapOrderScan) fail(n ast.Node, why string) {
+	if s.bad == nil {
+		s.bad, s.why = n, why
+	}
+}
+
+func (s *mapOrderScan) stmts(list []ast.Stmt) {
+	for _, st := range list {
+		if s.bad != nil {
+			return
+		}
+		s.stmt(st)
+	}
+}
+
+func (s *mapOrderScan) stmt(st ast.Stmt) {
+	switch st := st.(type) {
+	case *ast.AssignStmt:
+		s.assign(st)
+	case *ast.IncDecStmt:
+		// ++/-- is commutative accumulation wherever the operand lives.
+	case *ast.DeclStmt:
+		s.declare(st)
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok && isBuiltinCall(s.p, call, "delete") {
+			return
+		}
+		s.fail(st, "call with possible side effects runs in map order")
+	case *ast.IfStmt:
+		if st.Init != nil {
+			s.stmt(st.Init)
+		}
+		s.stmts(st.Body.List)
+		if st.Else != nil {
+			s.stmt(st.Else)
+		}
+	case *ast.BlockStmt:
+		s.stmts(st.List)
+	case *ast.ForStmt:
+		if st.Init != nil {
+			s.stmt(st.Init)
+		}
+		if st.Post != nil {
+			s.stmt(st.Post)
+		}
+		s.stmts(st.Body.List)
+	case *ast.RangeStmt:
+		if st.Tok == token.DEFINE {
+			if o := identObj(s.p, st.Key); o != nil {
+				s.locals[o] = true
+			}
+			if o := identObj(s.p, st.Value); o != nil {
+				s.locals[o] = true
+			}
+		}
+		s.stmts(st.Body.List)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			s.stmt(st.Init)
+		}
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				s.stmts(cc.Body)
+			}
+		}
+	case *ast.BranchStmt:
+		if st.Tok == token.GOTO {
+			s.fail(st, "goto out of a map-order loop")
+		}
+	case *ast.EmptyStmt:
+	default:
+		// return, send, go, defer, select, labeled statements, ...
+		s.fail(st, "statement kind is not order-insensitive")
+	}
+}
+
+func (s *mapOrderScan) declare(st *ast.DeclStmt) {
+	gd, ok := st.Decl.(*ast.GenDecl)
+	if !ok {
+		return
+	}
+	for _, spec := range gd.Specs {
+		if vs, ok := spec.(*ast.ValueSpec); ok {
+			for _, name := range vs.Names {
+				if o := s.p.Info.Defs[name]; o != nil {
+					s.locals[o] = true
+				}
+			}
+		}
+	}
+}
+
+func (s *mapOrderScan) assign(st *ast.AssignStmt) {
+	switch st.Tok {
+	case token.DEFINE:
+		// Loop-local scratch; dies with the iteration.
+		for _, lhs := range st.Lhs {
+			if o := identObj(s.p, lhs); o != nil {
+				s.locals[o] = true
+			}
+		}
+		return
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+		token.AND_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN:
+		// Commutative accumulation — but only exactly so for integers;
+		// float rounding makes even += depend on summation order.
+		t := s.p.Info.TypeOf(st.Lhs[0])
+		if t != nil {
+			if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 {
+				return
+			}
+		}
+		s.fail(st, "non-integer compound assignment accumulates in map order (float rounding is order-dependent)")
+		return
+	case token.ASSIGN:
+		// append-and-sort-later idiom?
+		if target, ok := s.appendTarget(st); ok {
+			if obj := identObj(s.p, target); obj != nil {
+				if s.locals[obj] || sortedInFunc(s.p, s.fn, obj) {
+					return
+				}
+				s.fail(st, "append in map order without a later sort of the target slice")
+				return
+			}
+			s.fail(st, "append in map order to a non-identifier target")
+			return
+		}
+		for _, lhs := range st.Lhs {
+			if !s.safeLHS(lhs) {
+				s.fail(st, "write to outer state whose value can depend on iteration order")
+				return
+			}
+		}
+		return
+	default:
+		s.fail(st, "assignment operator is not order-insensitive")
+	}
+}
+
+// appendTarget matches `x = append(x, ...)` and returns x.
+func (s *mapOrderScan) appendTarget(st *ast.AssignStmt) (ast.Expr, bool) {
+	if len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+		return nil, false
+	}
+	call, ok := st.Rhs[0].(*ast.CallExpr)
+	if !ok || !isBuiltinCall(s.p, call, "append") || len(call.Args) == 0 {
+		return nil, false
+	}
+	return st.Lhs[0], true
+}
+
+// safeLHS accepts assignment targets that cannot observe iteration order:
+// loop-locals, and container writes indexed by the unique range key.
+func (s *mapOrderScan) safeLHS(lhs ast.Expr) bool {
+	if o := identObj(s.p, lhs); o != nil && s.locals[o] {
+		return true
+	}
+	// Unwrap selectors/derefs down to an index expression: m[k].f = v,
+	// (*m[k]).f = v, s[k] = v are all keyed by k.
+	for {
+		switch e := lhs.(type) {
+		case *ast.SelectorExpr:
+			lhs = e.X
+		case *ast.StarExpr:
+			lhs = e.X
+		case *ast.ParenExpr:
+			lhs = e.X
+		case *ast.IndexExpr:
+			return s.key != nil && mentionsObj(s.p, e.Index, s.key)
+		default:
+			return false
+		}
+	}
+}
+
+// sortedInFunc reports whether fn contains a sort.* or slices.Sort* call
+// with obj among its arguments — the "collect then sort" idiom that
+// restores determinism after an unordered collection phase.
+func sortedInFunc(p *Package, fn *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeFunc(p, call)
+		if callee == nil || callee.Pkg() == nil {
+			return true
+		}
+		switch callee.Pkg().Path() {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		switch callee.Name() {
+		case "Slice", "SliceStable", "Sort", "Stable", "Ints", "Strings", "Float64s",
+			"SortFunc", "SortStableFunc":
+		default:
+			return true
+		}
+		for _, arg := range call.Args {
+			if mentionsObj(p, arg, obj) {
+				found = true
+				break
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// metricNameRE is the required shape of every metric family name.
+var metricNameRE = regexp.MustCompile(`^casc_[a-z0-9_]+$`)
+
+// newMetricName builds the metricname rule: every registration on the
+// metrics registry (Counter/Gauge/Histogram) must name its family through
+// a declared constant matching casc_[a-z0-9_]+, and no two constants may
+// declare the same family name — duplicate names would silently merge
+// unrelated series in the exposition. The generic registry package itself
+// is exempt (it registers caller-supplied names).
+func newMetricName() *Rule {
+	type declSite struct {
+		pos token.Position
+	}
+	consts := make(map[string][]declSite)
+	rule := &Rule{
+		Name: "metricname",
+		Doc: "metrics registrations must use casc_[a-z0-9_]+ named " +
+			"constants, unique across the repository",
+	}
+	rule.Check = func(p *Package, rep *Reporter) {
+		if strings.HasSuffix(p.Path, "internal/metrics") {
+			return
+		}
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(p, call)
+				if fn == nil || !isRegistration(fn) || len(call.Args) == 0 {
+					return true
+				}
+				arg := call.Args[0]
+				tv, ok := p.Info.Types[arg]
+				if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+					rep.Report(arg, "metric name must be a declared string constant")
+					return true
+				}
+				name := constant.StringVal(tv.Value)
+				if !metricNameRE.MatchString(name) {
+					rep.Report(arg, "metric name %q does not match casc_[a-z0-9_]+", name)
+				}
+				if _, lit := ast.Unparen(arg).(*ast.BasicLit); lit {
+					rep.Report(arg, "metric name %q must be a named constant, not an inline literal", name)
+				}
+				return true
+			})
+		}
+		// Collect package-level casc_* string constants for the
+		// cross-package uniqueness check in Finish.
+		scope := p.Pkg.Scope()
+		for _, nm := range scope.Names() {
+			c, ok := scope.Lookup(nm).(*types.Const)
+			if !ok || c.Val().Kind() != constant.String {
+				continue
+			}
+			if v := constant.StringVal(c.Val()); strings.HasPrefix(v, "casc_") {
+				consts[v] = append(consts[v], declSite{pos: p.Fset.Position(c.Pos())})
+			}
+		}
+	}
+	rule.Finish = func(report func(pos token.Position, format string, args ...any)) {
+		names := make([]string, 0, len(consts))
+		for v := range consts {
+			names = append(names, v)
+		}
+		sort.Strings(names)
+		for _, v := range names {
+			sites := consts[v]
+			if len(sites) < 2 {
+				continue
+			}
+			sort.Slice(sites, func(i, j int) bool {
+				a, b := sites[i].pos, sites[j].pos
+				if a.Filename != b.Filename {
+					return a.Filename < b.Filename
+				}
+				return a.Line < b.Line
+			})
+			for _, s := range sites[1:] {
+				report(s.pos, "metric name %q already declared at %s:%d", v,
+					sites[0].pos.Filename, sites[0].pos.Line)
+			}
+		}
+	}
+	return rule
+}
+
+// isRegistration matches the Counter/Gauge/Histogram methods of the
+// metrics registry.
+func isRegistration(fn *types.Func) bool {
+	switch fn.Name() {
+	case "Counter", "Gauge", "Histogram":
+	default:
+		return false
+	}
+	recv := namedRecv(fn)
+	return strings.HasSuffix(recv, "internal/metrics.Registry")
+}

@@ -1,0 +1,82 @@
+// Package ctxloop is a casc-lint golden fixture.
+package ctxloop
+
+import "context"
+
+type item struct{ score float64 }
+
+func work(item) {}
+
+type NoCtx struct{}
+
+// Solve lacks a context parameter entirely.
+func (NoCtx) Solve(items []item) { // want ctxloop
+	for _, it := range items {
+		work(it)
+	}
+}
+
+type Blind struct{}
+
+// Solve takes ctx but its candidate loop never observes it.
+func (Blind) Solve(ctx context.Context, items []item) {
+	for _, it := range items { // want ctxloop
+		work(it)
+	}
+}
+
+type Polling struct{}
+
+// Solve polls ctx.Err in its loop: compliant.
+func (Polling) Solve(ctx context.Context, items []item) error {
+	for _, it := range items {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		work(it)
+	}
+	return nil
+}
+
+type Threading struct{}
+
+func workCtx(ctx context.Context, it item) {}
+
+// Solve passes ctx into the loop body: compliant — the callee observes it.
+func (Threading) Solve(ctx context.Context, items []item) {
+	for _, it := range items {
+		workCtx(ctx, it)
+	}
+}
+
+type Light struct{}
+
+// Solve's loop does no heavy work (no calls, no nested loops): exempt.
+func (Light) Solve(ctx context.Context, xs []int) int {
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}
+
+type Nested struct{}
+
+// Solve's outer loop observes ctx; the nested loop inside is covered.
+func (Nested) Solve(ctx context.Context, items [][]item) {
+	for _, row := range items {
+		if ctx.Err() != nil {
+			return
+		}
+		for _, it := range row {
+			work(it)
+		}
+	}
+}
+
+// unexported solve is not an entry point.
+func solve(items []item) {
+	for _, it := range items {
+		work(it)
+	}
+}

@@ -1,0 +1,56 @@
+// Package droppederr is a casc-lint golden fixture.
+package droppederr
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+func mayFail() error { return nil }
+
+func pairResult() (int, error) { return 0, nil }
+
+func dropStatement() {
+	mayFail() // want droppederr
+}
+
+func dropPair() {
+	pairResult() // want droppederr
+}
+
+func okExplicitDiscard() {
+	_ = mayFail()
+}
+
+func okHandled() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func okFmtExempt() {
+	fmt.Println("fmt is exempt")
+	fmt.Fprintf(os.Stderr, "also exempt\n")
+}
+
+func okBuilderExempt(b *strings.Builder) {
+	b.WriteString("never fails")
+}
+
+func dropInGoroutine() {
+	go mayFail() // want droppederr
+}
+
+func dropDeferredNonClose() {
+	defer mayFail() // want droppederr
+}
+
+func okDeferredClose(f *os.File) {
+	defer f.Close()
+}
+
+func dropEagerClose(f *os.File) {
+	f.Close() // want droppederr
+}

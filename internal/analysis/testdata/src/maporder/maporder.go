@@ -1,0 +1,113 @@
+// Package maporder is a casc-lint golden fixture. Lines marked
+// `// want <rule>` must produce exactly that diagnostic.
+package maporder
+
+import "sort"
+
+func leakAppendValues(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // want maporder
+		out = append(out, v)
+	}
+	return out
+}
+
+func okAppendThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func okSortSlice(m map[int]float64) []int {
+	var ks []int
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
+}
+
+func okIntegerAccumulation(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func leakFloatAccumulation(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want maporder
+		total += v
+	}
+	return total
+}
+
+func okKeyedWrites(m map[int]int, out []int) {
+	for k, v := range m {
+		out[k] = v * 2
+	}
+}
+
+func okCountsAndDeletes(m, other map[int]int) int {
+	n := 0
+	for k := range m {
+		n++
+		delete(other, k)
+	}
+	return n
+}
+
+func leakLastWriteWins(m map[int]int) int {
+	var last int
+	for _, v := range m { // want maporder
+		last = v
+	}
+	return last
+}
+
+func leakOrderDependentMax(m map[int]float64) int {
+	bestK, best := -1, -1.0
+	for k, v := range m { // want maporder
+		if v > best {
+			best, bestK = v, k
+		}
+	}
+	return bestK
+}
+
+func leakCallInBody(m map[int]int, sink func(int)) {
+	for k := range m { // want maporder
+		sink(k)
+	}
+}
+
+func leakReturnInLoop(m map[int]int) int {
+	for k := range m { // want maporder
+		return k
+	}
+	return -1
+}
+
+func okLocalScratch(m map[int][]int) int {
+	n := 0
+	for _, vs := range m {
+		s := 0
+		for _, v := range vs {
+			s += v
+		}
+		n += s
+	}
+	return n
+}
+
+func leakAppendNoSort(m map[int]int) []int {
+	var ks []int
+	for k := range m { // want maporder
+		ks = append(ks, k)
+	}
+	return ks
+}

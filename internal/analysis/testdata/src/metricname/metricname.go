@@ -1,0 +1,21 @@
+// Package metricname is a casc-lint golden fixture.
+package metricname
+
+import "casc/internal/metrics"
+
+const (
+	goodName = "casc_fixture_ops_total"
+	badShape = "fixture-ops-total"
+	// dupA and dupB declare the same family name.
+	dupA = "casc_fixture_dup_total"
+	dupB = "casc_fixture_dup_total" // want metricname
+)
+
+func register(reg *metrics.Registry, dynamic string) {
+	reg.Counter(goodName, "Well-named counter.").Inc()
+	reg.Counter(badShape, "Badly shaped name.").Inc()                 // want metricname
+	reg.Counter("casc_fixture_inline_total", "Inline literal.").Inc() // want metricname
+	reg.Gauge(dynamic, "Non-constant name.").Set(1)                   // want metricname
+	reg.Histogram(goodName+"_seconds", "Derived constant is fine.", nil)
+	reg.Counter(dupA, "Registering a duplicated name is fine here; the duplicate is flagged at its declaration.").Inc()
+}

@@ -1,0 +1,36 @@
+// Package seededrand is a casc-lint golden fixture.
+package seededrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+func leakGlobalRand() int {
+	return rand.Intn(10) // want seededrand
+}
+
+func leakGlobalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want seededrand
+}
+
+func okSeededRand(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+func okInjectedRand(r *rand.Rand) int {
+	return r.Intn(10)
+}
+
+func leakWallClock() time.Time {
+	return time.Now() // want seededrand
+}
+
+func leakSince(start time.Time) time.Duration {
+	return time.Since(start) // want seededrand
+}
+
+func okInjectedClock(clock func() time.Time) time.Time {
+	return clock()
+}

@@ -1,0 +1,28 @@
+// Package suppress is a casc-lint golden fixture for the inline
+// suppression syntax.
+package suppress
+
+func mayFail() error { return nil }
+
+func suppressedOwnLine() {
+	//casclint:ignore droppederr fixture demonstrates an own-line suppression
+	mayFail()
+}
+
+func suppressedTrailing() {
+	mayFail() //casclint:ignore droppederr fixture demonstrates a trailing suppression
+}
+
+func wrongRuleSuppression() {
+	//casclint:ignore maporder suppressing the wrong rule does not help
+	mayFail() // want droppederr
+}
+
+func missingReason() {
+	//casclint:ignore droppederr
+	mayFail() // want droppederr
+}
+
+func unsuppressed() {
+	mayFail() // want droppederr
+}

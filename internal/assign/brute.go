@@ -51,6 +51,7 @@ func (s *BruteForce) Solve(ctx context.Context, in *model.Instance) (*model.Assi
 		}
 		if w == len(in.Workers) {
 			var total float64
+			//casclint:ignore ctxloop bounded leaf evaluation over task groups; rec polls ctx on entry
 			for _, g := range groups {
 				total += g.Q()
 			}
@@ -62,6 +63,7 @@ func (s *BruteForce) Solve(ctx context.Context, in *model.Instance) (*model.Assi
 		}
 		// Option: leave worker w unassigned.
 		rec(w + 1)
+		//casclint:ignore ctxloop cancellation is polled at every rec() entry, bounding the reaction to one branch step
 		for _, t := range in.WorkerCand[w] {
 			g := groups[t]
 			if g.Len() >= g.Capacity() {
@@ -76,6 +78,7 @@ func (s *BruteForce) Solve(ctx context.Context, in *model.Instance) (*model.Assi
 	}
 	rec(0)
 	a := model.NewAssignment(in)
+	//casclint:ignore ctxloop bounded materialization of the best assignment found before cancellation
 	for w, t := range best {
 		if t != model.Unassigned {
 			a.Assign(w, t)

@@ -1,0 +1,9 @@
+package assign
+
+import "time"
+
+// now is the package clock used for latency instrumentation. It is a
+// variable holding time.Now rather than direct calls so the clock is
+// injectable (tests can substitute a fake) and so no solver path reads
+// the wall clock directly — the seededrand invariant casc-lint enforces.
+var now = time.Now

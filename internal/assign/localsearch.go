@@ -48,6 +48,7 @@ func (s *LocalSearch) Solve(ctx context.Context, in *model.Instance) (*model.Ass
 	}
 
 	groups := newGroups(in)
+	//casclint:ignore ctxloop bounded group initialization from the base assignment; the pass loop below polls ctx
 	for t, ws := range a.TaskWorkers {
 		for _, w := range ws {
 			groups[t].Join(w)

@@ -2,7 +2,6 @@ package assign
 
 import (
 	"context"
-	"time"
 
 	"casc/internal/metrics"
 	"casc/internal/model"
@@ -93,10 +92,10 @@ func (i *instrumented) Name() string { return i.inner.Name() }
 // Solve implements Solver.
 func (i *instrumented) Solve(ctx context.Context, in *model.Instance) (*model.Assignment, error) {
 	lbl := metrics.L("solver", i.inner.Name())
-	start := time.Now()
+	start := now()
 	a, err := i.inner.Solve(ctx, in)
 	i.reg.Histogram(MetricSolveSeconds, "Solver wall time per batch in seconds.",
-		metrics.LatencyBuckets(), lbl).Observe(time.Since(start).Seconds())
+		metrics.LatencyBuckets(), lbl).Observe(now().Sub(start).Seconds())
 	i.reg.Counter(MetricSolves, "Solve calls.", lbl).Inc()
 	if err != nil {
 		i.reg.Counter(MetricSolveErrors, "Solve calls that failed.", lbl).Inc()

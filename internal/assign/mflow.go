@@ -53,6 +53,7 @@ func (s *MFlow) Solve(ctx context.Context, in *model.Instance) (*model.Assignmen
 			refs = append(refs, edgeRef{worker: w, task: t, idx: g.AddEdge(w, nW+t, 1)})
 		}
 	}
+	//casclint:ignore ctxloop O(tasks) cheap edge appends; ctx is polled immediately after
 	for t := 0; t < nT; t++ {
 		g.AddEdge(nW+t, sink, in.Tasks[t].Capacity)
 	}
@@ -61,6 +62,7 @@ func (s *MFlow) Solve(ctx context.Context, in *model.Instance) (*model.Assignmen
 	}
 	g.MaxFlow(src, sink)
 	a := model.NewAssignment(in)
+	//casclint:ignore ctxloop bounded flow-to-assignment extraction after the max-flow run completed
 	for _, r := range refs {
 		if g.Flow(r.idx) > 0 {
 			a.Assign(r.worker, r.task)

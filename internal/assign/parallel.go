@@ -4,7 +4,6 @@ import (
 	"context"
 	"runtime"
 	"sync"
-	"time"
 
 	"casc/internal/metrics"
 	"casc/internal/model"
@@ -154,10 +153,10 @@ func (p *Parallel) Solve(ctx context.Context, in *model.Instance) (*model.Assign
 				}
 				c := comps[ci]
 				sub, m := in.SubInstance(c.Workers, c.Tasks)
-				start := time.Now()
+				start := now()
 				a, err := p.solveComponent(ctx, sub, ComponentSeed(p.opts.Seed, c.Key()))
 				if latH != nil {
-					latH.Observe(time.Since(start).Seconds())
+					latH.Observe(now().Sub(start).Seconds())
 				}
 				if sizeH != nil {
 					sizeH.Observe(float64(c.Size()))
@@ -173,6 +172,7 @@ func (p *Parallel) Solve(ctx context.Context, in *model.Instance) (*model.Assign
 	wg.Wait()
 
 	var firstErr error
+	//casclint:ignore ctxloop merge of already-solved components: bounded, in-memory, non-blocking
 	for ci := range comps {
 		if errs[ci] != nil {
 			if firstErr == nil {

@@ -1,0 +1,174 @@
+package model
+
+import (
+	"testing"
+
+	"casc/internal/coop"
+)
+
+// FuzzSubInstanceLift exercises the SubInstance/Lift round trip with
+// arbitrary bipartite candidate graphs and arbitrary (worker, task)
+// selections: the remap must keep candidate lists ascending and mirrored,
+// preserve exactly the pairs inside the selection, and lifting a
+// sub-assignment must reproduce it pair-for-pair — including group member
+// order, which the decomposed solvers rely on for bitwise score equality.
+func FuzzSubInstanceLift(f *testing.F) {
+	f.Add([]byte{4, 4, 0xff, 0xff, 0xff})
+	f.Add([]byte{6, 3, 0b1010101, 0b0110011, 0xf0})
+	f.Add([]byte{1, 1, 0x01})
+	f.Add([]byte{9, 9, 0x13, 0x37, 0xca, 0x5c})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 5 {
+			t.Skip()
+		}
+		nW := int(data[0])%10 + 1
+		nT := int(data[1])%10 + 1
+		bits := data[2:]
+		bit := func(i int) bool { return bits[i/8%len(bits)]>>(i%8)&1 == 1 }
+
+		q := coop.NewMatrix(nW)
+		for i := 0; i < nW; i++ {
+			for k := i + 1; k < nW; k++ {
+				q.Set(i, k, float64((i*31+k*17)%100)/100)
+			}
+		}
+		in := &Instance{
+			Workers:    make([]Worker, nW),
+			Tasks:      make([]Task, nT),
+			Quality:    q,
+			B:          1,
+			WorkerCand: make([][]int, nW),
+			TaskCand:   make([][]int, nT),
+		}
+		for j := range in.Tasks {
+			in.Tasks[j].Capacity = 1 + int(bits[j%len(bits)])%3
+		}
+		for w := 0; w < nW; w++ {
+			for task := 0; task < nT; task++ {
+				if bit(w*nT + task) {
+					in.WorkerCand[w] = append(in.WorkerCand[w], task)
+					in.TaskCand[task] = append(in.TaskCand[task], w)
+				}
+			}
+		}
+
+		// Select arbitrary subsets; feed them descending to exercise the
+		// canonicalisation.
+		var wIDs, tIDs []int
+		for w := nW - 1; w >= 0; w-- {
+			if bit(nW*nT + w) {
+				wIDs = append(wIDs, w)
+			}
+		}
+		for task := nT - 1; task >= 0; task-- {
+			if bit(nW*nT + nW + task) {
+				tIDs = append(tIDs, task)
+			}
+		}
+		sub, m := in.SubInstance(wIDs, tIDs)
+
+		if len(m.WorkerIDs) != len(wIDs) || len(m.TaskIDs) != len(tIDs) {
+			t.Fatalf("mapping sizes %d/%d, want %d/%d", len(m.WorkerIDs), len(m.TaskIDs), len(wIDs), len(tIDs))
+		}
+		for i := 1; i < len(m.WorkerIDs); i++ {
+			if m.WorkerIDs[i-1] >= m.WorkerIDs[i] {
+				t.Fatalf("WorkerIDs not ascending: %v", m.WorkerIDs)
+			}
+		}
+		for j := 1; j < len(m.TaskIDs); j++ {
+			if m.TaskIDs[j-1] >= m.TaskIDs[j] {
+				t.Fatalf("TaskIDs not ascending: %v", m.TaskIDs)
+			}
+		}
+
+		// Candidate lists: exactly the parent pairs inside the selection,
+		// ascending, with TaskCand the exact mirror.
+		taskLocal := make(map[int]int, len(m.TaskIDs))
+		for j, task := range m.TaskIDs {
+			taskLocal[task] = j
+		}
+		for i, w := range m.WorkerIDs {
+			var want []int
+			for _, task := range in.WorkerCand[w] {
+				if j, ok := taskLocal[task]; ok {
+					want = append(want, j)
+				}
+			}
+			got := sub.WorkerCand[i]
+			if len(got) != len(want) {
+				t.Fatalf("sub worker %d candidates %v, want %v", i, got, want)
+			}
+			for k := range want {
+				if got[k] != want[k] {
+					t.Fatalf("sub worker %d candidates %v, want %v", i, got, want)
+				}
+			}
+		}
+		for j, cand := range sub.TaskCand {
+			for k, i := range cand {
+				if k > 0 && cand[k-1] >= i {
+					t.Fatalf("sub task %d candidates not ascending: %v", j, cand)
+				}
+				found := false
+				for _, jj := range sub.WorkerCand[i] {
+					if jj == j {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("sub task %d lists worker %d but not vice versa", j, i)
+				}
+			}
+		}
+
+		// Greedy sub-assignment from the remaining bits, then lift.
+		suba := NewAssignment(sub)
+		used := make([]int, len(sub.Tasks))
+		for i := range sub.Workers {
+			if !bit(2*nW*nT + nW + nT + i) {
+				continue
+			}
+			for _, j := range sub.WorkerCand[i] {
+				if used[j] < sub.Tasks[j].Capacity {
+					suba.Assign(i, j)
+					used[j]++
+					break
+				}
+			}
+		}
+		dst := NewAssignment(in)
+		m.Lift(suba, dst)
+
+		if dst.NumAssigned() != suba.NumAssigned() {
+			t.Fatalf("lift changed pair count: %d vs %d", dst.NumAssigned(), suba.NumAssigned())
+		}
+		inSel := make(map[int]bool, len(m.WorkerIDs))
+		for i, w := range m.WorkerIDs {
+			inSel[w] = true
+			want := Unassigned
+			if st := suba.WorkerTask[i]; st != Unassigned {
+				want = m.TaskIDs[st]
+			}
+			if dst.WorkerTask[w] != want {
+				t.Fatalf("parent worker %d lifted to task %d, want %d", w, dst.WorkerTask[w], want)
+			}
+		}
+		for w, task := range dst.WorkerTask {
+			if !inSel[w] && task != Unassigned {
+				t.Fatalf("unselected parent worker %d became assigned to %d", w, task)
+			}
+		}
+		// Group member order must survive the lift exactly.
+		for j, ws := range suba.TaskWorkers {
+			lifted := dst.TaskWorkers[m.TaskIDs[j]]
+			if len(lifted) != len(ws) {
+				t.Fatalf("task %d group size %d, want %d", j, len(lifted), len(ws))
+			}
+			for k, i := range ws {
+				if lifted[k] != m.WorkerIDs[i] {
+					t.Fatalf("task %d member order broken: lifted %v from %v via %v", j, lifted, ws, m.WorkerIDs)
+				}
+			}
+		}
+	})
+}

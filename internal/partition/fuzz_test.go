@@ -1,0 +1,162 @@
+package partition
+
+import (
+	"reflect"
+	"testing"
+
+	"casc/internal/coop"
+	"casc/internal/model"
+)
+
+// fuzzInstance decodes data into a small instance with an arbitrary
+// bipartite validity graph, bypassing geometry: WorkerCand/TaskCand are
+// filled directly (ascending, mirrored), which is all Components reads.
+func fuzzInstance(data []byte) *model.Instance {
+	if len(data) < 3 {
+		return nil
+	}
+	nW := int(data[0])%12 + 1
+	nT := int(data[1])%12 + 1
+	bits := data[2:]
+	in := &model.Instance{
+		Workers:    make([]model.Worker, nW),
+		Tasks:      make([]model.Task, nT),
+		Quality:    coop.Synthetic{N: nW},
+		B:          1,
+		WorkerCand: make([][]int, nW),
+		TaskCand:   make([][]int, nT),
+	}
+	for w := 0; w < nW; w++ {
+		for t := 0; t < nT; t++ {
+			i := w*nT + t
+			if bits[i/8%len(bits)]>>(i%8)&1 == 1 {
+				in.WorkerCand[w] = append(in.WorkerCand[w], t)
+				in.TaskCand[t] = append(in.TaskCand[t], w)
+			}
+		}
+	}
+	return in
+}
+
+// FuzzPartitionComponents drives the union-find decomposition with
+// arbitrary validity graphs and checks its contract: the components are a
+// disjoint cover of the non-isolated nodes, each is closed under the
+// candidate relation and internally connected, index lists stay
+// ascending, Pairs add up, and the emitted order is deterministic
+// largest-first with unique ascending keys on ties.
+func FuzzPartitionComponents(f *testing.F) {
+	f.Add([]byte{3, 3, 0b10110101})
+	f.Add([]byte{8, 8, 0xff, 0x00, 0xff, 0x00, 0xff, 0x00, 0xff, 0x00})
+	f.Add([]byte{12, 1, 0x01})
+	f.Add([]byte{1, 12, 0x80, 0x01})
+	f.Add([]byte{5, 5, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		in := fuzzInstance(data)
+		if in == nil {
+			t.Skip()
+		}
+		comps := Components(in)
+		if again := Components(in); !reflect.DeepEqual(comps, again) {
+			t.Fatalf("Components is nondeterministic:\n%v\nvs\n%v", comps, again)
+		}
+
+		seenW := make(map[int]int) // worker -> component index
+		seenT := make(map[int]int)
+		totalPairs := 0
+		for ci, c := range comps {
+			if len(c.Workers) == 0 || len(c.Tasks) == 0 || c.Pairs == 0 {
+				t.Fatalf("component %d is degenerate: %+v", ci, c)
+			}
+			for i, w := range c.Workers {
+				if i > 0 && c.Workers[i-1] >= w {
+					t.Fatalf("component %d workers not ascending: %v", ci, c.Workers)
+				}
+				if prev, dup := seenW[w]; dup {
+					t.Fatalf("worker %d in components %d and %d", w, prev, ci)
+				}
+				seenW[w] = ci
+			}
+			for i, task := range c.Tasks {
+				if i > 0 && c.Tasks[i-1] >= task {
+					t.Fatalf("component %d tasks not ascending: %v", ci, c.Tasks)
+				}
+				if prev, dup := seenT[task]; dup {
+					t.Fatalf("task %d in components %d and %d", task, prev, ci)
+				}
+				seenT[task] = ci
+			}
+			// Closure: every candidate edge from a member stays inside.
+			pairs := 0
+			for _, w := range c.Workers {
+				pairs += len(in.WorkerCand[w])
+				for _, task := range in.WorkerCand[w] {
+					if seenT[task] != ci {
+						t.Fatalf("edge (w%d,t%d) leaves component %d", w, task, ci)
+					}
+				}
+			}
+			if pairs != c.Pairs {
+				t.Fatalf("component %d Pairs = %d, edges = %d", ci, c.Pairs, pairs)
+			}
+			totalPairs += pairs
+			assertConnected(t, in, c)
+		}
+		if totalPairs != in.NumValidPairs() {
+			t.Fatalf("components cover %d pairs, instance has %d", totalPairs, in.NumValidPairs())
+		}
+		// Cover: every non-isolated node belongs to some component.
+		for w, cand := range in.WorkerCand {
+			if _, ok := seenW[w]; ok != (len(cand) > 0) {
+				t.Fatalf("worker %d (degree %d) coverage = %v", w, len(cand), ok)
+			}
+		}
+		for task, cand := range in.TaskCand {
+			if _, ok := seenT[task]; ok != (len(cand) > 0) {
+				t.Fatalf("task %d (degree %d) coverage = %v", task, len(cand), ok)
+			}
+		}
+		// Order: size non-increasing, ties broken by ascending unique keys.
+		for i := 1; i < len(comps); i++ {
+			a, b := comps[i-1], comps[i]
+			if a.Size() < b.Size() {
+				t.Fatalf("components not largest-first at %d: %d then %d", i, a.Size(), b.Size())
+			}
+			if a.Size() == b.Size() && a.Key() >= b.Key() {
+				t.Fatalf("size tie at %d not broken by ascending key: %d then %d", i, a.Key(), b.Key())
+			}
+		}
+	})
+}
+
+// assertConnected BFSes the validity graph restricted to the component and
+// requires every member to be reachable from its first worker.
+func assertConnected(t *testing.T, in *model.Instance, c Component) {
+	t.Helper()
+	reachedW := make(map[int]bool)
+	reachedT := make(map[int]bool)
+	queue := []int{c.Workers[0]} // worker ids; tasks enqueued as ^task
+	reachedW[c.Workers[0]] = true
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if n >= 0 {
+			for _, task := range in.WorkerCand[n] {
+				if !reachedT[task] {
+					reachedT[task] = true
+					queue = append(queue, ^task)
+				}
+			}
+		} else {
+			for _, w := range in.TaskCand[^n] {
+				if !reachedW[w] {
+					reachedW[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	if len(reachedW) != len(c.Workers) || len(reachedT) != len(c.Tasks) {
+		t.Fatalf("component {%v,%v} not connected: reached %d workers, %d tasks",
+			c.Workers, c.Tasks, len(reachedW), len(reachedT))
+	}
+}
