@@ -56,6 +56,7 @@ func run() error {
 		metricsF = flag.String("metrics", "", "write the final metrics snapshot as JSON to this file")
 		parallel = flag.Bool("parallel", false, "decompose each batch into connected components and solve them concurrently")
 		workers  = flag.Int("workers", 0, "component worker pool under -parallel (0: GOMAXPROCS)")
+		budget   = flag.Duration("budget", 0, "per-solve budget; overruns fall through the anytime ladder (solver → TPG → RAND → empty floor)")
 		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 	)
 	flag.Parse()
@@ -82,7 +83,7 @@ func run() error {
 
 	opt := harness.Options{
 		Rounds: *rounds, Seed: *seed, Scale: *scale,
-		Parallel: *parallel, Workers: *workers,
+		Parallel: *parallel, Workers: *workers, Budget: *budget,
 	}
 	if *solvers != "" {
 		opt.Solvers = strings.Split(*solvers, ",")

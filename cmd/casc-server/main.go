@@ -44,6 +44,7 @@ func main() {
 		pprofF   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		parallel = flag.Bool("parallel", false, "decompose each batch into connected components and solve them concurrently")
 		workers  = flag.Int("workers", 0, "component worker pool under -parallel (0: GOMAXPROCS)")
+		budget   = flag.Duration("budget", 0, "per-request solve deadline for POST /batch; exhaustion returns 503 + Retry-After")
 	)
 	flag.Parse()
 
@@ -54,7 +55,7 @@ func main() {
 			parallelism = -1 // server.Config: negative selects GOMAXPROCS
 		}
 	}
-	p, err := buildPlatform(*snapshot, server.Config{B: *b, Alpha: *alpha, Omega: *omega, EnablePprof: *pprofF, Parallelism: parallelism})
+	p, err := buildPlatform(*snapshot, server.Config{B: *b, Alpha: *alpha, Omega: *omega, EnablePprof: *pprofF, Parallelism: parallelism, SolveBudget: *budget})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -27,6 +27,7 @@ import (
 	"casc/internal/dataset"
 	"casc/internal/metrics"
 	"casc/internal/model"
+	"casc/internal/resilience"
 	"casc/internal/roadnet"
 	"casc/internal/trace"
 	"casc/internal/viz"
@@ -49,6 +50,11 @@ func main() {
 		metricsF = flag.String("metrics", "", "write the final metrics snapshot as JSON to this file")
 		parallel = flag.Bool("parallel", false, "decompose each batch into connected components and solve them concurrently")
 		workers  = flag.Int("workers", 0, "component worker pool under -parallel (0: GOMAXPROCS)")
+		budget   = flag.Duration("budget", 0, "per-round solve budget; overruns fall through the anytime ladder (solver → TPG → RAND → empty floor)")
+		chaos    = flag.Bool("chaos", false, "inject seeded deterministic faults into every ladder rung (rehearsal mode; seeded by -seed)")
+		chFail   = flag.Float64("chaos-fail", 1.0, "with -chaos: probability a rung solve fails outright")
+		chLat    = flag.Duration("chaos-latency", 0, "with -chaos: max injected latency per rung solve")
+		chTrunc  = flag.Float64("chaos-trunc", 0, "with -chaos: probability a rung result is truncated to half its pairs")
 	)
 	flag.Parse()
 
@@ -59,6 +65,21 @@ func main() {
 	if *metricsF != "" {
 		reg = metrics.NewRegistry()
 		defer dumpMetrics(*metricsF, reg)
+	}
+	if reg == nil && (*budget > 0 || *chaos) {
+		// The ladder summary printed at exit reads these counters even
+		// when no -metrics dump was requested.
+		reg = metrics.NewRegistry()
+	}
+	var chaosCfg *resilience.ChaosConfig
+	if *chaos {
+		chaosCfg = &resilience.ChaosConfig{
+			Seed:         *seed,
+			FailRate:     *chFail,
+			Latency:      *chLat,
+			TruncateRate: *chTrunc,
+			Metrics:      reg,
+		}
 	}
 	kind, err := indexKind(*index)
 	if err != nil {
@@ -75,7 +96,8 @@ func main() {
 				par = -1 // batch.Config: negative selects GOMAXPROCS
 			}
 		}
-		simulate(ctx, *solver, *compare, *m, *n, *seed, *rounds, kind, *traceF, reg, par)
+		simulate(ctx, *solver, *compare, *m, *n, *seed, *rounds, kind, *traceF, reg, par, *budget, chaosCfg)
+		ladderSummary(reg)
 		return
 	}
 	in, err := load(*data, *m, *n, *seed, kind)
@@ -111,12 +133,29 @@ func main() {
 			s = assign.NewParallel(s, assign.ParallelOptions{Workers: *workers, Seed: *seed, Metrics: reg})
 		}
 		s = assign.Instrument(s, reg)
-		start := time.Now()
-		a, err := s.Solve(ctx, in)
-		elapsed := time.Since(start)
-		if err != nil {
-			fatal(fmt.Errorf("%s: %w", name, err))
+		var ladder *resilience.Ladder
+		if *budget > 0 || chaosCfg != nil {
+			rungs := resilience.Chain(s, *seed)
+			if chaosCfg != nil {
+				rungs = resilience.WithChaos(rungs, *chaosCfg)
+			}
+			ladder, err = resilience.NewLadder(resilience.Config{Budget: *budget, Metrics: reg}, rungs...)
+			if err != nil {
+				fatal(err)
+			}
 		}
+		start := time.Now()
+		var a *model.Assignment
+		var out resilience.Outcome
+		if ladder != nil {
+			a, out = ladder.SolveBudgeted(ctx, in)
+		} else {
+			a, err = s.Solve(ctx, in)
+			if err != nil {
+				fatal(fmt.Errorf("%s: %w", name, err))
+			}
+		}
+		elapsed := time.Since(start)
 		if err := a.Validate(in); err != nil {
 			fatal(fmt.Errorf("%s produced an invalid assignment: %w", name, err))
 		}
@@ -125,10 +164,15 @@ func main() {
 		if ub > 0 {
 			frac = score / ub * 100
 		}
-		fmt.Printf("%-8s %12.2f %9.1f%% %8d %10d %10s\n",
+		fmt.Printf("%-8s %12.2f %9.1f%% %8d %10d %10s",
 			name, score, frac, a.NumAssigned(), a.CompletedTasks(in), elapsed.Round(time.Millisecond))
+		if ladder != nil {
+			fmt.Printf("  rung=%s fallbacks=%d", out.Rung, out.Fallbacks)
+		}
+		fmt.Println()
 		lastA, lastName = a, name
 	}
+	ladderSummary(reg)
 	if *svg != "" && lastA != nil {
 		title := fmt.Sprintf("%s: score %.2f of UPPER %.2f", lastName, lastA.TotalScore(in), ub)
 		if err := viz.SaveAssignment(*svg, in, lastA, viz.Options{Title: title}); err != nil {
@@ -141,7 +185,7 @@ func main() {
 // simulate runs the Algorithm 1 simulator: fresh worker/task waves each
 // round, carry-over of unserved tasks, busy workers returning after
 // service.
-func simulate(ctx context.Context, solverName string, compare bool, m, n int, seed int64, rounds int, kind model.IndexKind, tracePath string, reg *metrics.Registry, parallelism int) {
+func simulate(ctx context.Context, solverName string, compare bool, m, n int, seed int64, rounds int, kind model.IndexKind, tracePath string, reg *metrics.Registry, parallelism int, budget time.Duration, chaosCfg *resilience.ChaosConfig) {
 	names := []string{solverName}
 	if compare {
 		names = assign.AllNames()
@@ -186,6 +230,8 @@ func simulate(ctx context.Context, solverName string, compare bool, m, n int, se
 			Metrics:     reg,
 			Parallelism: parallelism,
 			Seed:        seed,
+			RoundBudget: budget,
+			Chaos:       chaosCfg,
 		}, src)
 		if err != nil {
 			fatal(err)
@@ -228,6 +274,33 @@ func indexKind(s string) (model.IndexKind, error) {
 		return model.IndexLinear, nil
 	}
 	return 0, fmt.Errorf("unknown index %q", s)
+}
+
+// ladderSummary prints the run's aggregate ladder counters — fallbacks,
+// budget overruns, exhausted (floor) solves, chaos injections — so a
+// -budget/-chaos run shows its degradations even without a -metrics dump.
+func ladderSummary(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	snap := reg.Snapshot()
+	sum := func(name string) uint64 {
+		var total uint64
+		for _, c := range snap.Counters {
+			if c.Name == name {
+				total += c.Value
+			}
+		}
+		return total
+	}
+	fallbacks := sum(resilience.MetricLadderFallbacks)
+	solves := sum(resilience.MetricLadderSolves)
+	if solves == 0 {
+		return
+	}
+	fmt.Printf("\nladder: %d solves, %d fallbacks, %d budget overruns, %d exhausted (floor), %d chaos injections\n",
+		solves, fallbacks, sum(resilience.MetricLadderOverruns),
+		sum(resilience.MetricLadderExhausted), sum(resilience.MetricChaosInjections))
 }
 
 // dumpMetrics writes the registry snapshot as indented JSON.

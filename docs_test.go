@@ -1,0 +1,71 @@
+package casc_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// metricLit matches a casc_* metric-name string literal as it appears in a
+// named constant declaration. Matching the quoted literal (rather than
+// bare words) keeps prose and label values out of the inventory.
+var metricLit = regexp.MustCompile(`"(casc_[a-z0-9_]+)"`)
+
+// TestMetricsDocumented is the docs CI gate: every casc_* metric name
+// registered anywhere in the source tree must be documented in
+// docs/OPERATIONS.md, so the operator runbook can never silently fall
+// behind the code. New metric? Add a row to the catalogue table.
+func TestMetricsDocumented(t *testing.T) {
+	doc, err := os.ReadFile("docs/OPERATIONS.md")
+	if err != nil {
+		t.Fatalf("reading the operator runbook: %v", err)
+	}
+	runbook := string(doc)
+
+	registered := map[string][]string{} // metric -> files declaring it
+	err = filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			// Skip VCS internals and lint fixtures (fixture packages
+			// declare deliberately bad metric names).
+			if d.Name() == ".git" || d.Name() == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range metricLit.FindAllStringSubmatch(string(src), -1) {
+			registered[m[1]] = append(registered[m[1]], path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(registered) == 0 {
+		t.Fatal("no casc_* metric literals found; the scan is broken")
+	}
+
+	names := make([]string, 0, len(registered))
+	for name := range registered {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if !strings.Contains(runbook, name) {
+			t.Errorf("metric %s (declared in %s) is missing from docs/OPERATIONS.md",
+				name, strings.Join(registered[name], ", "))
+		}
+	}
+}

@@ -16,7 +16,9 @@ func newCtxLoop() *Rule {
 		Name: "ctxloop",
 		Doc: "exported Solve must take a context.Context and its heavy " +
 			"loops must observe ctx cancellation",
-		Scope: []string{"internal/assign"},
+		// internal/resilience is in scope so ladder rungs and the chaos
+		// decorator can never ignore cancellation in their Solve paths.
+		Scope: []string{"internal/assign", "internal/resilience"},
 		Check: checkCtxLoop,
 	}
 }

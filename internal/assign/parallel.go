@@ -4,6 +4,7 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"casc/internal/metrics"
 	"casc/internal/model"
@@ -22,6 +23,10 @@ const (
 	// MetricParallelComponentSeconds is a histogram of per-component solve
 	// latency.
 	MetricParallelComponentSeconds = "casc_parallel_component_solve_seconds"
+	// MetricParallelClipped counts component results dropped from the merge
+	// because cancellation landed while the component was solving, so the
+	// result may have been cut mid-run.
+	MetricParallelClipped = "casc_parallel_clipped_components_total"
 )
 
 // ComponentSizeBuckets covers component node counts from singleton pairs up
@@ -104,10 +109,15 @@ func ComponentSeed(parent int64, key int) int64 {
 }
 
 // Solve implements Solver. Cancellation mid-fan-out leaves the remaining
-// components unassigned: the merged assignment is still valid (per the
-// Solver contract each component solve is itself a valid partial), just
-// partial. The first error from any component solve is returned alongside
-// whatever merged without error.
+// components unassigned, and a component whose solve was still running
+// when cancellation landed is dropped from the merge entirely (counted by
+// casc_parallel_clipped_components_total): its partial may have been cut
+// mid-run, and merging it would present a half-solved component as that
+// component's complete result. The merge therefore carries exactly the
+// components that finished cleanly before the cut — the pre-merge best —
+// which is still a valid assignment per the Solver contract. The first
+// error from any component solve is returned alongside whatever merged
+// without error.
 func (p *Parallel) Solve(ctx context.Context, in *model.Instance) (*model.Assignment, error) {
 	merged := model.NewAssignment(in)
 	comps := partition.Components(in)
@@ -138,6 +148,7 @@ func (p *Parallel) Solve(ctx context.Context, in *model.Instance) (*model.Assign
 	results := make([]*model.Assignment, len(comps))
 	maps := make([]*model.SubIndex, len(comps))
 	errs := make([]error, len(comps))
+	var clipped atomic.Uint64
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -161,6 +172,13 @@ func (p *Parallel) Solve(ctx context.Context, in *model.Instance) (*model.Assign
 				if sizeH != nil {
 					sizeH.Observe(float64(c.Size()))
 				}
+				if err == nil && ctx.Err() != nil {
+					// Cancellation landed while this component was solving:
+					// its partial may be cut mid-run, so drop it rather than
+					// merge a half-solved component as if complete.
+					a = nil
+					clipped.Add(1)
+				}
 				results[ci], maps[ci], errs[ci] = a, m, err
 			}
 		}()
@@ -170,6 +188,12 @@ func (p *Parallel) Solve(ctx context.Context, in *model.Instance) (*model.Assign
 	}
 	close(jobs)
 	wg.Wait()
+
+	if n := clipped.Load(); n > 0 && p.opts.Metrics != nil {
+		p.opts.Metrics.Counter(MetricParallelClipped,
+			"Component results dropped from the merge because cancellation cut them mid-solve.",
+			metrics.L("solver", p.Name())).Add(n)
+	}
 
 	var firstErr error
 	//casclint:ignore ctxloop merge of already-solved components: bounded, in-memory, non-blocking

@@ -369,3 +369,61 @@ func TestParallelRace(t *testing.T) {
 	close(stop)
 	hammer.Wait()
 }
+
+// TestParallelClippedComponentNeverHalfMerged is the regression test for
+// the clipped-merge audit: when cancellation lands while a component is
+// being solved, that component's possibly-cut partial must be dropped, so
+// in the merged result every component is either bitwise-identical to its
+// clean solve or entirely unassigned — never a half-solved component
+// presented as complete.
+func TestParallelClippedComponentNeverHalfMerged(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	in := clusteredInstance(r, 16, 12, 5, 2)
+	comps := partition.Components(in)
+	if len(comps) < 8 {
+		t.Fatalf("only %d components; instance not clustered enough", len(comps))
+	}
+
+	// Reference: the clean (uncancelled) decomposed solve. Workers: 1 so
+	// countdown budgets below map deterministically onto component order.
+	ref, err := NewParallel(NewTPG(), ParallelOptions{Workers: 1}).Solve(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sawClip := false
+	for budget := int64(5); budget <= 120; budget += 5 {
+		cc := &countdownCtx{Context: context.Background(), budget: budget}
+		reg := metrics.NewRegistry()
+		p := NewParallel(NewTPG(), ParallelOptions{Workers: 1, Metrics: reg})
+		a, err := p.Solve(cc, in)
+		if err != nil {
+			t.Fatalf("budget=%d: Solve: %v", budget, err)
+		}
+		if err := a.Validate(in); err != nil {
+			t.Fatalf("budget=%d: invalid merge: %v", budget, err)
+		}
+		clips := reg.Counter(MetricParallelClipped, "", metrics.L("solver", "TPG")).Value()
+		if clips > 0 {
+			sawClip = true
+		}
+		for _, c := range comps {
+			full, empty := true, true
+			for _, w := range c.Workers {
+				if a.WorkerTask[w] != ref.WorkerTask[w] {
+					full = false
+				}
+				if a.WorkerTask[w] != model.Unassigned {
+					empty = false
+				}
+			}
+			if !full && !empty {
+				t.Fatalf("budget=%d: component key=%d half-merged: neither clean nor empty (clipped=%d)",
+					budget, c.Key(), clips)
+			}
+		}
+	}
+	if !sawClip {
+		t.Error("no budget in the sweep clipped a component; regression not exercised")
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"casc/internal/coop"
 	"casc/internal/metrics"
 	"casc/internal/model"
+	"casc/internal/resilience"
 	"casc/internal/trace"
 )
 
@@ -122,8 +123,23 @@ type Config struct {
 	// runtime.GOMAXPROCS(0). Zero keeps the monolithic solve.
 	Parallelism int
 	// Seed feeds per-component seed derivation under Parallelism (only
-	// randomized solvers notice).
+	// randomized solvers notice) and the chaos fault schedule under Chaos.
 	Seed int64
+	// RoundBudget, when positive, bounds each round's solve wall time by
+	// wrapping the solver in a resilience.Ladder over the default anytime
+	// chain (Solver → TPG → RAND): a round whose primary solve overruns
+	// the budget falls through to cheaper rungs and, at worst, to the
+	// empty feasibility floor, so the batch loop keeps its cadence. Tasks
+	// left unassigned by a degraded round simply stay pending and carry
+	// over to the next round, exactly like tasks that failed to attract B
+	// workers (§V deadline semantics).
+	RoundBudget time.Duration
+	// Chaos, when non-nil, wraps every ladder rung in seeded fault
+	// injection (see resilience.ChaosConfig) — rehearsal mode for the
+	// ladder's fallback paths. Setting Chaos forces the ladder on even
+	// with a zero RoundBudget. The Seed field above drives the schedule;
+	// ChaosConfig.Seed is overridden per rung.
+	Chaos *resilience.ChaosConfig
 }
 
 // BatchStats records one batch of the simulation.
@@ -229,6 +245,28 @@ func Run(ctx context.Context, cfg Config, src Source) (*Result, error) {
 			Seed:    cfg.Seed,
 			Metrics: cfg.Metrics,
 		})
+	}
+	if cfg.RoundBudget > 0 || cfg.Chaos != nil {
+		// The ladder wraps the (possibly parallel) solver as its primary
+		// rung so the budget bounds the whole decomposed solve, not each
+		// component; fallback rungs are monolithic but cheap.
+		rungs := resilience.Chain(solver, cfg.Seed)
+		if cfg.Chaos != nil {
+			cc := *cfg.Chaos
+			cc.Seed = cfg.Seed
+			if cc.Metrics == nil {
+				cc.Metrics = cfg.Metrics
+			}
+			rungs = resilience.WithChaos(rungs, cc)
+		}
+		ladder, err := resilience.NewLadder(resilience.Config{
+			Budget:  cfg.RoundBudget,
+			Metrics: cfg.Metrics,
+		}, rungs...)
+		if err != nil {
+			return nil, err
+		}
+		solver = ladder
 	}
 	em := newEngineMetrics(cfg.Metrics, cfg.Solver.Name())
 	if cfg.Metrics != nil {

@@ -5,11 +5,14 @@ import (
 	"context"
 	"math"
 	"testing"
+	"time"
 
 	"casc/internal/assign"
 	"casc/internal/coop"
 	"casc/internal/geo"
+	"casc/internal/metrics"
 	"casc/internal/model"
+	"casc/internal/resilience"
 	"casc/internal/stats"
 	"casc/internal/trace"
 )
@@ -462,5 +465,70 @@ func TestParallelismMatchesMonolithic(t *testing.T) {
 		if par.DispatchedTasks != mono.DispatchedTasks {
 			t.Errorf("Parallelism=%d: dispatched %d != monolithic %d", parallelism, par.DispatchedTasks, mono.DispatchedTasks)
 		}
+	}
+}
+
+// TestBudgetedRoundsCompleteUnderFullChaos is the engine-level version of
+// the acceptance criterion: with 100% rung-failure injection and a 50ms
+// round budget, every round completes on the feasibility floor, tasks
+// carry over as pending, and the ladder fallback counter moves.
+func TestBudgetedRoundsCompleteUnderFullChaos(t *testing.T) {
+	src := uniformSource(60, 15, 5, 3)
+	reg := metrics.NewRegistry()
+	res, err := Run(context.Background(), Config{
+		Solver:      assign.NewTPG(),
+		Rounds:      5,
+		B:           3,
+		Metrics:     reg,
+		Seed:        7,
+		RoundBudget: 50 * time.Millisecond,
+		Chaos:       &resilience.ChaosConfig{FailRate: 1},
+	}, src)
+	if err != nil {
+		t.Fatalf("Run under full chaos: %v", err)
+	}
+	if len(res.Batches) != 5 {
+		t.Fatalf("completed %d rounds, want 5", len(res.Batches))
+	}
+	if res.DispatchedTasks != 0 || res.TotalScore != 0 {
+		t.Fatalf("full chaos dispatched %d tasks (score %v); every rung should fail",
+			res.DispatchedTasks, res.TotalScore)
+	}
+	var fallbacks uint64
+	for _, rung := range []string{"TPG", "RAND"} {
+		fallbacks += reg.Counter(resilience.MetricLadderFallbacks, "",
+			metrics.L("solver", "TPG"), metrics.L("rung", rung),
+			metrics.L("reason", resilience.ReasonError)).Value()
+	}
+	if fallbacks == 0 {
+		t.Error("casc_ladder_fallback_total stayed 0 under full chaos")
+	}
+	// Undispatched tasks carried over until their deadlines: 15 tasks per
+	// round, 3-round deadlines, so rounds 0-1 tasks expired by round 4.
+	if res.ExpiredTasks == 0 {
+		t.Error("no tasks expired; carry-over semantics not exercised")
+	}
+}
+
+// TestBudgetedRoundsMatchUnbudgetedWhenFast proves the ladder is invisible
+// when the primary rung finishes in budget: identical result to a plain
+// run, round for round.
+func TestBudgetedRoundsMatchUnbudgetedWhenFast(t *testing.T) {
+	plain, err := Run(context.Background(), Config{
+		Solver: assign.NewTPG(), Rounds: 5, B: 3,
+	}, uniformSource(60, 15, 5, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	budgeted, err := Run(context.Background(), Config{
+		Solver: assign.NewTPG(), Rounds: 5, B: 3,
+		RoundBudget: time.Hour,
+	}, uniformSource(60, 15, 5, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.TotalScore != budgeted.TotalScore || plain.DispatchedTasks != budgeted.DispatchedTasks {
+		t.Fatalf("budgeted run diverged: score %v vs %v, dispatched %d vs %d",
+			budgeted.TotalScore, plain.TotalScore, budgeted.DispatchedTasks, plain.DispatchedTasks)
 	}
 }

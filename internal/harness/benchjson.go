@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"time"
 )
 
 // This file emits the machine-readable bench trajectory: one
@@ -38,8 +39,12 @@ type BenchFile struct {
 	// Parallel and Workers record whether the run solved decomposed
 	// components concurrently, so BENCH files from decomposed and
 	// monolithic runs are distinguishable in the perf trajectory.
-	Parallel bool         `json:"parallel,omitempty"`
-	Workers  int          `json:"workers,omitempty"`
+	Parallel bool `json:"parallel,omitempty"`
+	Workers  int  `json:"workers,omitempty"`
+	// BudgetMS records the per-solve ladder budget in milliseconds (0:
+	// unbudgeted), so score-vs-budget sweeps are distinguishable in the
+	// perf trajectory.
+	BudgetMS float64      `json:"budget_ms,omitempty"`
 	Entries  []BenchEntry `json:"entries"`
 }
 
@@ -112,6 +117,7 @@ func (s *Series) BenchFile(opt Options) *BenchFile {
 		Scale:      opt.Scale,
 		Parallel:   opt.Parallel,
 		Workers:    opt.Workers,
+		BudgetMS:   float64(opt.Budget) / float64(time.Millisecond),
 		Entries:    s.BenchEntries(),
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"casc/internal/meetup"
 	"casc/internal/metrics"
 	"casc/internal/model"
+	"casc/internal/resilience"
 	"casc/internal/stats"
 	"casc/internal/workload"
 )
@@ -74,6 +75,11 @@ type Options struct {
 	Parallel bool
 	// Workers bounds the component pool under Parallel (0: GOMAXPROCS).
 	Workers int
+	// Budget, when positive, bounds each solve's wall time by wrapping
+	// every solver in a resilience.Ladder (solver → TPG → RAND), so the
+	// experiment measures what each approach delivers *within* the budget
+	// rather than letting slow solvers run unboundedly.
+	Budget time.Duration
 }
 
 // parallelize wraps s in the decomposing decorator when Parallel is set;
@@ -87,6 +93,22 @@ func (o Options) parallelize(s assign.Solver) assign.Solver {
 		Seed:    o.Seed,
 		Metrics: o.Metrics,
 	})
+}
+
+// decorate applies the experiment's solver decorators in wiring order:
+// decomposition under Parallel, then the anytime ladder under Budget.
+func (o Options) decorate(s assign.Solver) assign.Solver {
+	s = o.parallelize(s)
+	if o.Budget <= 0 {
+		return s
+	}
+	l, err := resilience.NewLadder(
+		resilience.Config{Budget: o.Budget, Metrics: o.Metrics},
+		resilience.Chain(s, o.Seed)...)
+	if err != nil {
+		panic(err) // unreachable: Chain always yields ≥ 1 rung
+	}
+	return l
 }
 
 func (o Options) withDefaults() Options {
@@ -206,7 +228,7 @@ func sweepPoint(ctx context.Context, label string, opt Options, mk instanceMaker
 			if err != nil {
 				return pt, err
 			}
-			solver = assign.Instrument(opt.parallelize(solver), opt.Metrics)
+			solver = assign.Instrument(opt.decorate(solver), opt.Metrics)
 			start := time.Now()
 			a, err := solver.Solve(ctx, in)
 			elapsed := time.Since(start).Seconds()
@@ -406,7 +428,7 @@ func runOptGap(ctx context.Context, opt Options) (*Series, error) {
 				if err != nil {
 					return series, err
 				}
-				s = assign.Instrument(opt.parallelize(s), opt.Metrics)
+				s = assign.Instrument(opt.decorate(s), opt.Metrics)
 				st := time.Now()
 				a, err := s.Solve(ctx, in)
 				if err != nil {
@@ -586,7 +608,7 @@ func runEpsilon(ctx context.Context, opt Options) (*Series, error) {
 				return series, err
 			}
 			pt.Upper += assign.Upper(in)
-			solver := assign.Instrument(opt.parallelize(assign.NewGT(assign.GTOptions{Epsilon: eps})), opt.Metrics)
+			solver := assign.Instrument(opt.decorate(assign.NewGT(assign.GTOptions{Epsilon: eps})), opt.Metrics)
 			start := time.Now()
 			a, err := solver.Solve(ctx, in)
 			elapsed := time.Since(start).Seconds()

@@ -1,0 +1,176 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"casc/internal/assign"
+	"casc/internal/metrics"
+	"casc/internal/model"
+	"casc/internal/stats"
+)
+
+// MetricChaosInjections counts injected faults, labelled
+// {solver, kind} with kind ∈ {latency, error, truncate}.
+const MetricChaosInjections = "casc_chaos_injections_total"
+
+// Injection kinds used in the MetricChaosInjections kind label.
+const (
+	KindLatency  = "latency"
+	KindError    = "error"
+	KindTruncate = "truncate"
+)
+
+// ErrInjected is the sentinel wrapped by every chaos-injected failure, so
+// tests and the ladder's fallback accounting can tell injected faults from
+// genuine solver errors with errors.Is.
+var ErrInjected = errors.New("resilience: injected fault")
+
+// ChaosConfig parameterizes a Chaos decorator. Rates are probabilities in
+// [0, 1]; the zero value injects nothing.
+type ChaosConfig struct {
+	// Seed drives the decorator's private RNG. Equal seeds (and equal
+	// call sequences) reproduce the exact same fault schedule.
+	Seed int64
+	// FailRate is the probability a Solve fails outright with a wrapped
+	// ErrInjected before the inner solver runs.
+	FailRate float64
+	// Latency is the maximum injected delay; each Solve sleeps a uniform
+	// draw from [0, Latency) before anything else. Zero disables.
+	Latency time.Duration
+	// TruncateRate is the probability a successful result is truncated:
+	// a deterministic fraction of its assigned workers is unassigned,
+	// simulating a solver cut mid-run. Truncated results stay feasible.
+	TruncateRate float64
+	// TruncateFrac is the fraction of assigned workers removed by a
+	// truncation (default 0.5).
+	TruncateFrac float64
+	// Metrics, when non-nil, receives casc_chaos_injections_total.
+	Metrics *metrics.Registry
+}
+
+// Chaos wraps a solver with seeded, deterministic fault injection for
+// tests and casc-sim -chaos rehearsals. Faults apply in a fixed order per
+// Solve — injected latency, then an injected error, then the inner solve,
+// then result truncation — and all random draws for a call happen up front
+// from a mutex-guarded stream, so a fixed seed yields a fixed schedule
+// even when calls interleave with the inner solver's own concurrency.
+type Chaos struct {
+	inner assign.Solver
+	cfg   ChaosConfig
+
+	mu  sync.Mutex
+	rng *randStream
+}
+
+// randStream is the minimal slice of *rand.Rand Chaos uses; indirection
+// keeps the draws mockable in tests.
+type randStream struct {
+	r interface {
+		Float64() float64
+		Int63n(int64) int64
+		Int63() int64
+	}
+}
+
+// NewChaos wraps inner with fault injection per cfg.
+func NewChaos(inner assign.Solver, cfg ChaosConfig) *Chaos {
+	if cfg.TruncateFrac <= 0 || cfg.TruncateFrac > 1 {
+		cfg.TruncateFrac = 0.5
+	}
+	return &Chaos{inner: inner, cfg: cfg, rng: &randStream{r: stats.NewRNG(cfg.Seed)}}
+}
+
+// Name is transparent, like the other solver decorators.
+func (c *Chaos) Name() string { return c.inner.Name() }
+
+// chaosPlan is one Solve's fault schedule, drawn up front.
+type chaosPlan struct {
+	delay    time.Duration
+	fail     bool
+	truncate bool
+	shuffle  int64 // sub-seed for the truncation shuffle
+}
+
+func (c *Chaos) plan() chaosPlan {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var p chaosPlan
+	if c.cfg.Latency > 0 {
+		p.delay = time.Duration(c.rng.r.Int63n(int64(c.cfg.Latency)))
+	}
+	p.fail = c.rng.r.Float64() < c.cfg.FailRate
+	p.truncate = c.rng.r.Float64() < c.cfg.TruncateRate
+	p.shuffle = c.rng.r.Int63()
+	return p
+}
+
+// Solve implements assign.Solver. On injected latency interrupted by ctx
+// cancellation it returns the empty (feasible) assignment with nil error,
+// matching the contract's partial-result-on-cancel behaviour.
+func (c *Chaos) Solve(ctx context.Context, in *model.Instance) (*model.Assignment, error) {
+	p := c.plan()
+	if p.delay > 0 {
+		c.count(KindLatency)
+		select {
+		case <-after(p.delay):
+		case <-ctx.Done():
+			return model.NewAssignment(in), nil
+		}
+	}
+	if p.fail {
+		c.count(KindError)
+		return nil, fmt.Errorf("chaos(%s): %w", c.inner.Name(), ErrInjected)
+	}
+	a, err := c.inner.Solve(ctx, in)
+	if err == nil && a != nil && p.truncate {
+		c.count(KindTruncate)
+		truncate(a, c.cfg.TruncateFrac, p.shuffle)
+	}
+	return a, err
+}
+
+// truncate unassigns frac of a's assigned workers, chosen by a seeded
+// shuffle of the sorted pair list so the cut is deterministic. Unassign
+// keeps both assignment maps consistent, so the result remains feasible —
+// it just loses score, like a solver stopped mid-improvement.
+func truncate(a *model.Assignment, frac float64, seed int64) {
+	pairs := a.Pairs()
+	if len(pairs) == 0 {
+		return
+	}
+	stats.Shuffle(stats.NewRNG(seed), pairs)
+	cut := int(float64(len(pairs)) * frac)
+	if cut == 0 {
+		cut = 1
+	}
+	for _, p := range pairs[:cut] {
+		a.Unassign(p.Worker)
+	}
+}
+
+func (c *Chaos) count(kind string) {
+	if c.cfg.Metrics == nil {
+		return
+	}
+	c.cfg.Metrics.Counter(MetricChaosInjections,
+		"Faults injected by the chaos decorator, by kind (latency|error|truncate).",
+		metrics.L("solver", c.inner.Name()), metrics.L("kind", kind)).Inc()
+}
+
+// WithChaos wraps every rung of a ladder chain in its own Chaos decorator,
+// deriving per-rung seeds from cfg.Seed with the same splitmix64 stream
+// used for component seeds, so rung schedules are independent yet fully
+// determined by the one configured seed.
+func WithChaos(rungs []assign.Solver, cfg ChaosConfig) []assign.Solver {
+	out := make([]assign.Solver, len(rungs))
+	for i, r := range rungs {
+		rc := cfg
+		rc.Seed = assign.ComponentSeed(cfg.Seed, i)
+		out[i] = NewChaos(r, rc)
+	}
+	return out
+}

@@ -1,0 +1,188 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"casc/internal/assign"
+	"casc/internal/metrics"
+)
+
+func TestChaosZeroConfigIsTransparent(t *testing.T) {
+	in := testInstance(30, 40, 15, 2)
+	want, err := assign.NewTPG().Solve(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewChaos(assign.NewTPG(), ChaosConfig{Seed: 1})
+	got, err := c.Solve(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got.Pairs()) != fmt.Sprint(want.Pairs()) {
+		t.Fatal("zero-rate chaos changed the result")
+	}
+	if c.Name() != "TPG" {
+		t.Fatalf("Name() = %q, want transparent TPG", c.Name())
+	}
+}
+
+func TestChaosInjectedErrorIsSentinel(t *testing.T) {
+	c := NewChaos(assign.NewTPG(), ChaosConfig{Seed: 2, FailRate: 1})
+	in := testInstance(31, 20, 8, 2)
+	_, err := c.Solve(context.Background(), in)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want errors.Is(_, ErrInjected)", err)
+	}
+}
+
+func TestChaosDeterministicSchedule(t *testing.T) {
+	in := testInstance(32, 40, 15, 2)
+	run := func() []string {
+		c := NewChaos(assign.NewTPG(), ChaosConfig{Seed: 99, FailRate: 0.4, TruncateRate: 0.4})
+		var trace []string
+		for i := 0; i < 20; i++ {
+			a, err := c.Solve(context.Background(), in)
+			if err != nil {
+				trace = append(trace, "err")
+				continue
+			}
+			trace = append(trace, fmt.Sprintf("%.6f", a.TotalScore(in)))
+		}
+		return trace
+	}
+	a, b := run(), run()
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("same seed, different schedules:\n%v\n%v", a, b)
+	}
+}
+
+func TestChaosTruncationStaysFeasible(t *testing.T) {
+	in := testInstance(33, 60, 20, 2)
+	clean, err := assign.NewTPG().Solve(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.NumAssigned() == 0 {
+		t.Skip("instance yields no assignment; pick another seed")
+	}
+	reg := metrics.NewRegistry()
+	c := NewChaos(assign.NewTPG(), ChaosConfig{Seed: 3, TruncateRate: 1, TruncateFrac: 0.5, Metrics: reg})
+	a, err := c.Solve(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(in); err != nil {
+		t.Fatalf("truncated result infeasible: %v", err)
+	}
+	if a.NumAssigned() >= clean.NumAssigned() {
+		t.Fatalf("truncation removed nothing: %d >= %d assigned", a.NumAssigned(), clean.NumAssigned())
+	}
+	if v := reg.Counter(MetricChaosInjections, "",
+		metrics.L("solver", "TPG"), metrics.L("kind", KindTruncate)).Value(); v != 1 {
+		t.Errorf("injections{kind=truncate} = %d, want 1", v)
+	}
+}
+
+func TestChaosLatencyRespectsCancel(t *testing.T) {
+	restore := after
+	after = fakeAfter(t, false) // injected delay never elapses
+	defer func() { after = restore }()
+	c := NewChaos(assign.NewTPG(), ChaosConfig{Seed: 4, Latency: time.Hour})
+	in := testInstance(34, 20, 8, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	a, err := c.Solve(ctx, in)
+	if err != nil {
+		t.Fatalf("cancelled latency returned error %v, want nil + empty partial", err)
+	}
+	if err := a.Validate(in); err != nil || a.NumAssigned() != 0 {
+		t.Fatalf("want empty feasible partial, got %v (validate: %v)", a, err)
+	}
+}
+
+// TestLadderFeasibleUnderFullChaos is the headline guarantee: with 100%
+// rung-failure injection on every rung, the ladder still returns a
+// feasible assignment (capacity, radius, and deadline constraints hold)
+// for every chaos seed, and records the fallbacks.
+func TestLadderFeasibleUnderFullChaos(t *testing.T) {
+	for _, seed := range chaosSeeds(t) {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			in := testInstance(seed, 50, 20, 2)
+			reg := metrics.NewRegistry()
+			rungs := WithChaos(
+				Chain(assign.NewTPG(), seed),
+				ChaosConfig{Seed: seed, FailRate: 1, Metrics: reg},
+			)
+			l, err := NewLadder(Config{Budget: 50 * time.Millisecond, Metrics: reg}, rungs...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for round := 0; round < 5; round++ {
+				a, out := l.SolveBudgeted(context.Background(), in)
+				if err := a.Validate(in); err != nil {
+					t.Fatalf("round %d: infeasible under full chaos: %v", round, err)
+				}
+				if !out.Exhausted {
+					t.Fatalf("round %d: outcome %+v, want exhausted (all rungs fail)", round, out)
+				}
+			}
+			var fallbacks uint64
+			for _, rung := range []string{"TPG", "RAND"} {
+				fallbacks += reg.Counter(MetricLadderFallbacks, "",
+					metrics.L("solver", "TPG"), metrics.L("rung", rung),
+					metrics.L("reason", ReasonError)).Value()
+			}
+			if fallbacks == 0 {
+				t.Error("casc_ladder_fallback_total stayed 0 under full chaos")
+			}
+		})
+	}
+}
+
+// TestLadderFeasibleUnderMixedChaos drives every fault kind at once and
+// checks the returned assignment is always feasible, whatever survives.
+func TestLadderFeasibleUnderMixedChaos(t *testing.T) {
+	for _, seed := range chaosSeeds(t) {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			in := testInstance(seed+1000, 50, 20, 2)
+			rungs := WithChaos(
+				Chain(assign.NewTPG(), seed),
+				ChaosConfig{Seed: seed, FailRate: 0.5, Latency: time.Millisecond, TruncateRate: 0.5},
+			)
+			l, err := NewLadder(Config{Budget: 25 * time.Millisecond}, rungs...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for round := 0; round < 10; round++ {
+				a, _ := l.SolveBudgeted(context.Background(), in)
+				if err := a.Validate(in); err != nil {
+					t.Fatalf("round %d: infeasible under mixed chaos: %v", round, err)
+				}
+			}
+		})
+	}
+}
+
+func TestWithChaosDerivesDistinctSeeds(t *testing.T) {
+	rungs := WithChaos(
+		[]assign.Solver{assign.NewTPG(), assign.NewRandom(1)},
+		ChaosConfig{Seed: 7},
+	)
+	a, ok1 := rungs[0].(*Chaos)
+	b, ok2 := rungs[1].(*Chaos)
+	if !ok1 || !ok2 {
+		t.Fatal("WithChaos did not wrap rungs in *Chaos")
+	}
+	if a.cfg.Seed == b.cfg.Seed {
+		t.Fatalf("rung seeds collide: %d", a.cfg.Seed)
+	}
+	if a.Name() != "TPG" || b.Name() != "RAND" {
+		t.Fatalf("names not transparent: %q, %q", a.Name(), b.Name())
+	}
+}

@@ -1,0 +1,12 @@
+package resilience
+
+import "time"
+
+// The ladder and chaos decorators read wall time and arm timers only
+// through these two variables, mirroring the injectable clock in
+// internal/assign: tests swap in a fake pair to drive budget expiry and
+// injected latency deterministically, without sleeping.
+var (
+	now   = time.Now
+	after = time.After
+)

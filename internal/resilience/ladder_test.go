@@ -1,0 +1,455 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"casc/internal/assign"
+	"casc/internal/coop"
+	"casc/internal/geo"
+	"casc/internal/metrics"
+	"casc/internal/model"
+)
+
+// testInstance builds a well-connected random CA-SC batch, mirroring the
+// generator used by the assign package tests.
+func testInstance(seed int64, nW, nT, b int) *model.Instance {
+	r := rand.New(rand.NewSource(seed))
+	in := &model.Instance{
+		Quality: coop.Synthetic{N: nW, Seed: uint64(r.Int63())},
+		B:       b,
+	}
+	for i := 0; i < nW; i++ {
+		in.Workers = append(in.Workers, model.Worker{
+			ID:     i,
+			Loc:    geo.Pt(r.Float64(), r.Float64()),
+			Speed:  0.02 + r.Float64()*0.08,
+			Radius: 0.1 + r.Float64()*0.2,
+		})
+	}
+	for j := 0; j < nT; j++ {
+		in.Tasks = append(in.Tasks, model.Task{
+			ID:       j,
+			Loc:      geo.Pt(r.Float64(), r.Float64()),
+			Capacity: b + r.Intn(3),
+			Deadline: 2 + r.Float64()*3,
+		})
+	}
+	in.BuildCandidates(model.IndexLinear)
+	return in
+}
+
+// stubSolver is a scriptable rung for ladder unit tests.
+type stubSolver struct {
+	name  string
+	solve func(ctx context.Context, in *model.Instance) (*model.Assignment, error)
+}
+
+func (s *stubSolver) Name() string { return s.name }
+func (s *stubSolver) Solve(ctx context.Context, in *model.Instance) (*model.Assignment, error) {
+	return s.solve(ctx, in)
+}
+
+// failing returns a rung that always errors.
+func failing(name string) *stubSolver {
+	return &stubSolver{name: name, solve: func(context.Context, *model.Instance) (*model.Assignment, error) {
+		return nil, errors.New(name + ": boom")
+	}}
+}
+
+// chaosSeeds returns the deterministic seed set for chaos tests; the CI
+// matrix extends it through CASC_CHAOS_SEED.
+func chaosSeeds(t *testing.T) []int64 {
+	t.Helper()
+	seeds := []int64{1, 7, 1337}
+	if env := os.Getenv("CASC_CHAOS_SEED"); env != "" {
+		s, err := strconv.ParseInt(env, 10, 64)
+		if err != nil {
+			t.Fatalf("CASC_CHAOS_SEED=%q: %v", env, err)
+		}
+		seeds = append(seeds, s)
+	}
+	return seeds
+}
+
+func TestNewLadderRejectsEmptyChain(t *testing.T) {
+	if _, err := NewLadder(Config{}); err == nil {
+		t.Fatal("empty rung chain accepted")
+	}
+}
+
+func TestLadderNameTransparent(t *testing.T) {
+	l, err := NewLadder(Config{}, assign.NewTPG(), assign.NewRandom(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Name(); got != "TPG" {
+		t.Fatalf("Name() = %q, want primary rung TPG", got)
+	}
+}
+
+func TestLadderCleanFirstRung(t *testing.T) {
+	in := testInstance(11, 40, 15, 2)
+	l, err := NewLadder(Config{}, assign.NewTPG(), failing("NEVER"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, out := l.SolveBudgeted(context.Background(), in)
+	if err := a.Validate(in); err != nil {
+		t.Fatalf("invalid assignment: %v", err)
+	}
+	if out.Rung != "TPG" || out.RungIndex != 0 || out.Fallbacks != 0 || out.Exhausted {
+		t.Fatalf("outcome = %+v, want clean first-rung selection", out)
+	}
+	// The ladder result must match the bare rung bitwise.
+	want, err := assign.NewTPG().Solve(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalScore(in) != want.TotalScore(in) {
+		t.Fatalf("ladder score %v != bare TPG score %v", a.TotalScore(in), want.TotalScore(in))
+	}
+}
+
+func TestLadderFallsThroughOnError(t *testing.T) {
+	in := testInstance(12, 40, 15, 2)
+	reg := metrics.NewRegistry()
+	l, err := NewLadder(Config{Metrics: reg}, failing("EXACT"), failing("GT"), assign.NewTPG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, out := l.SolveBudgeted(context.Background(), in)
+	if err := a.Validate(in); err != nil {
+		t.Fatalf("invalid assignment: %v", err)
+	}
+	if out.Rung != "TPG" || out.RungIndex != 2 || out.Fallbacks != 2 || out.Exhausted {
+		t.Fatalf("outcome = %+v, want TPG after two error fallbacks", out)
+	}
+	for _, rung := range []string{"EXACT", "GT"} {
+		c := reg.Counter(MetricLadderFallbacks, "",
+			metrics.L("solver", "EXACT"), metrics.L("rung", rung), metrics.L("reason", ReasonError))
+		if c.Value() != 1 {
+			t.Errorf("fallback{rung=%s,reason=error} = %d, want 1", rung, c.Value())
+		}
+	}
+}
+
+func TestLadderDiscardsInfeasibleResult(t *testing.T) {
+	in := testInstance(13, 30, 10, 2)
+	// A rung that fabricates an over-capacity assignment: every worker
+	// piled onto task 0.
+	cheater := &stubSolver{name: "CHEAT", solve: func(_ context.Context, in *model.Instance) (*model.Assignment, error) {
+		a := model.NewAssignment(in)
+		for w := range in.Workers {
+			a.WorkerTask[w] = 0
+			a.TaskWorkers[0] = append(a.TaskWorkers[0], w)
+		}
+		return a, nil
+	}}
+	reg := metrics.NewRegistry()
+	l, err := NewLadder(Config{Metrics: reg}, cheater, assign.NewRandom(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, out := l.SolveBudgeted(context.Background(), in)
+	if err := a.Validate(in); err != nil {
+		t.Fatalf("invalid assignment leaked through: %v", err)
+	}
+	if out.Rung != "RAND" || out.Fallbacks != 1 {
+		t.Fatalf("outcome = %+v, want RAND after infeasible fallback", out)
+	}
+	c := reg.Counter(MetricLadderFallbacks, "",
+		metrics.L("solver", "CHEAT"), metrics.L("rung", "CHEAT"), metrics.L("reason", ReasonInfeasible))
+	if c.Value() != 1 {
+		t.Errorf("fallback{reason=infeasible} = %d, want 1", c.Value())
+	}
+}
+
+func TestLadderFloorWhenAllRungsFail(t *testing.T) {
+	in := testInstance(14, 30, 10, 2)
+	reg := metrics.NewRegistry()
+	l, err := NewLadder(Config{Metrics: reg}, failing("EXACT"), failing("GT"), failing("RAND"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, out := l.SolveBudgeted(context.Background(), in)
+	if err := a.Validate(in); err != nil {
+		t.Fatalf("floor assignment invalid: %v", err)
+	}
+	if a.NumAssigned() != 0 {
+		t.Fatalf("floor has %d assigned workers, want 0", a.NumAssigned())
+	}
+	if !out.Exhausted || out.Rung != FloorRung || out.RungIndex != -1 || out.Fallbacks != 3 {
+		t.Fatalf("outcome = %+v, want exhausted floor after 3 fallbacks", out)
+	}
+	if v := reg.Counter(MetricLadderExhausted, "", metrics.L("solver", "EXACT")).Value(); v != 1 {
+		t.Errorf("exhausted counter = %d, want 1", v)
+	}
+	if v := reg.Counter(MetricLadderRungSelected, "",
+		metrics.L("solver", "EXACT"), metrics.L("rung", FloorRung)).Value(); v != 1 {
+		t.Errorf("rung_selected{rung=floor} = %d, want 1", v)
+	}
+}
+
+// fakeAfter scripts the ladder's watchdog timers by call order: true fires
+// the timer immediately, false never fires it.
+func fakeAfter(t *testing.T, script ...bool) func(time.Duration) <-chan time.Time {
+	t.Helper()
+	fired := make(chan time.Time)
+	close(fired)
+	var mu sync.Mutex
+	i := 0
+	return func(time.Duration) <-chan time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		if i >= len(script) {
+			t.Errorf("unexpected after() call #%d", i+1)
+			return make(chan time.Time)
+		}
+		fire := script[i]
+		i++
+		if fire {
+			return fired
+		}
+		return make(chan time.Time)
+	}
+}
+
+func TestLadderBudgetSliceCancelsSlowRung(t *testing.T) {
+	in := testInstance(15, 40, 15, 2)
+	restore := after
+	// Call 1: rung 1's slice expires instantly. Call 2: the grace timer
+	// never fires — the cancelled rung's partial wins the drain select.
+	// Call 3: rung 2's slice never expires.
+	after = fakeAfter(t, true, false, false)
+	defer func() { after = restore }()
+
+	// slow honours cancellation and surrenders a valid partial result.
+	slow := &stubSolver{name: "SLOW", solve: func(ctx context.Context, in *model.Instance) (*model.Assignment, error) {
+		<-ctx.Done()
+		return model.NewAssignment(in), nil
+	}}
+	reg := metrics.NewRegistry()
+	l, err := NewLadder(Config{Budget: time.Hour, Metrics: reg}, slow, assign.NewTPG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, out := l.SolveBudgeted(context.Background(), in)
+	if err := a.Validate(in); err != nil {
+		t.Fatalf("invalid assignment: %v", err)
+	}
+	if out.Rung != "TPG" || out.RungIndex != 1 || out.Fallbacks != 1 {
+		t.Fatalf("outcome = %+v, want TPG after budget fallback", out)
+	}
+	if v := reg.Counter(MetricLadderOverruns, "",
+		metrics.L("solver", "SLOW"), metrics.L("rung", "SLOW")).Value(); v != 1 {
+		t.Errorf("overruns = %d, want 1", v)
+	}
+	if v := reg.Counter(MetricLadderFallbacks, "",
+		metrics.L("solver", "SLOW"), metrics.L("rung", "SLOW"), metrics.L("reason", ReasonBudget)).Value(); v != 1 {
+		t.Errorf("fallback{reason=budget} = %d, want 1", v)
+	}
+}
+
+func TestLadderAbandonsSilentRung(t *testing.T) {
+	in := testInstance(16, 40, 15, 2)
+	restore := after
+	// Call 1: rung 1's slice expires. Call 2: the grace expires too — the
+	// rung is abandoned. Call 3: rung 2's slice never expires.
+	after = fakeAfter(t, true, true, false)
+	defer func() { after = restore }()
+
+	release := make(chan struct{})
+	t.Cleanup(func() { close(release) })
+	// stuck ignores cancellation entirely until the test releases it.
+	stuck := &stubSolver{name: "STUCK", solve: func(context.Context, *model.Instance) (*model.Assignment, error) {
+		<-release
+		return nil, errors.New("too late")
+	}}
+	reg := metrics.NewRegistry()
+	l, err := NewLadder(Config{Budget: time.Hour, Metrics: reg}, stuck, assign.NewTPG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, out := l.SolveBudgeted(context.Background(), in)
+	if err := a.Validate(in); err != nil {
+		t.Fatalf("invalid assignment: %v", err)
+	}
+	if out.Rung != "TPG" || out.Fallbacks != 1 {
+		t.Fatalf("outcome = %+v, want TPG after abandoning STUCK", out)
+	}
+	if v := reg.Counter(MetricLadderFallbacks, "",
+		metrics.L("solver", "STUCK"), metrics.L("rung", "STUCK"), metrics.L("reason", ReasonAbandoned)).Value(); v != 1 {
+		t.Errorf("fallback{reason=abandoned} = %d, want 1", v)
+	}
+}
+
+func TestLadderKeepsBestPartialOverWorseLaterRung(t *testing.T) {
+	in := testInstance(17, 40, 15, 2)
+	// Rung 1 errors but still returns a good feasible partial (allowed by
+	// the Solver contract's cancellation behaviour); rung 2 returns a
+	// worse-but-clean result. The ladder must keep the better score.
+	good, err := assign.NewTPG().Solve(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good.TotalScore(in) <= 0 {
+		t.Skip("instance yields zero TPG score; pick another seed")
+	}
+	richFail := &stubSolver{name: "RICH", solve: func(context.Context, *model.Instance) (*model.Assignment, error) {
+		return good.Clone(), errors.New("budget-style failure with partial")
+	}}
+	empty := &stubSolver{name: "EMPTY", solve: func(_ context.Context, in *model.Instance) (*model.Assignment, error) {
+		return model.NewAssignment(in), nil
+	}}
+	l, err := NewLadder(Config{}, richFail, empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, out := l.SolveBudgeted(context.Background(), in)
+	if a.TotalScore(in) != good.TotalScore(in) {
+		t.Fatalf("returned score %v, want the failed rung's partial %v", a.TotalScore(in), good.TotalScore(in))
+	}
+	if out.Rung != "RICH" || out.Exhausted {
+		t.Fatalf("outcome = %+v, want RICH partial selected", out)
+	}
+}
+
+func TestLadderScoreSacrificeAccounting(t *testing.T) {
+	in := testInstance(18, 40, 15, 2)
+	good, err := assign.NewTPG().Solve(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	score := good.TotalScore(in)
+	if score <= 0 {
+		t.Skip("instance yields zero TPG score; pick another seed")
+	}
+	// An infeasible-but-scored result is discarded yet counts as lost
+	// score against the empty floor the ladder is left with.
+	cheat := &stubSolver{name: "CHEAT", solve: func(_ context.Context, in *model.Instance) (*model.Assignment, error) {
+		a := good.Clone()
+		// Break map consistency so Validate rejects it; TotalScore reads
+		// TaskWorkers, so the (lost) score survives the corruption.
+		a.WorkerTask[a.Pairs()[0].Worker] = model.Unassigned
+		return a, nil
+	}}
+	l, err := NewLadder(Config{}, cheat, failing("GT"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, out := l.SolveBudgeted(context.Background(), in)
+	if !out.Exhausted {
+		t.Fatalf("outcome = %+v, want exhausted", out)
+	}
+	if out.Sacrificed <= 0 {
+		t.Fatalf("Sacrificed = %v, want > 0 (infeasible rung scored %v)", out.Sacrificed, score)
+	}
+}
+
+func TestLadderRespectsPreCancelledContext(t *testing.T) {
+	in := testInstance(19, 30, 10, 2)
+	called := false
+	spy := &stubSolver{name: "SPY", solve: func(_ context.Context, in *model.Instance) (*model.Assignment, error) {
+		called = true
+		return model.NewAssignment(in), nil
+	}}
+	l, err := NewLadder(Config{}, spy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	a, out := l.SolveBudgeted(ctx, in)
+	if called {
+		t.Error("rung ran under a pre-cancelled context")
+	}
+	if err := a.Validate(in); err != nil {
+		t.Fatalf("floor invalid: %v", err)
+	}
+	if !out.Exhausted {
+		t.Fatalf("outcome = %+v, want exhausted floor", out)
+	}
+}
+
+func TestLadderSolveNeverErrors(t *testing.T) {
+	in := testInstance(20, 30, 10, 2)
+	l, err := NewLadder(Config{}, failing("A"), failing("B"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := l.Solve(context.Background(), in)
+	if err != nil {
+		t.Fatalf("Solve returned error %v; the ladder floor should absorb failures", err)
+	}
+	if err := a.Validate(in); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+}
+
+func TestChainComposition(t *testing.T) {
+	names := func(rungs []assign.Solver) []string {
+		var out []string
+		for _, r := range rungs {
+			out = append(out, r.Name())
+		}
+		return out
+	}
+	gt, err := assign.ByName("GT", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := names(Chain(gt, 3))
+	want := []string{"GT", "TPG", "RAND"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("Chain(GT) = %v, want %v", got, want)
+	}
+	if got := names(Chain(assign.NewTPG(), 3)); fmt.Sprint(got) != fmt.Sprint([]string{"TPG", "RAND"}) {
+		t.Fatalf("Chain(TPG) = %v, want no duplicate TPG", got)
+	}
+	if got := names(Chain(assign.NewRandom(3), 3)); fmt.Sprint(got) != fmt.Sprint([]string{"RAND", "TPG"}) {
+		t.Fatalf("Chain(RAND) = %v, want no duplicate RAND", got)
+	}
+}
+
+// TestLadderConcurrentBudgetedRounds hammers one shared ladder from many
+// goroutines under a real (tiny) budget; run under -race this doubles as
+// the data-race check for concurrent budgeted rounds.
+func TestLadderConcurrentBudgetedRounds(t *testing.T) {
+	reg := metrics.NewRegistry()
+	rungs := WithChaos(
+		[]assign.Solver{assign.NewTPG(), assign.NewRandom(9)},
+		ChaosConfig{Seed: 42, FailRate: 0.5, Latency: 2 * time.Millisecond, TruncateRate: 0.3, Metrics: reg},
+	)
+	l, err := NewLadder(Config{Budget: 20 * time.Millisecond, Metrics: reg}, rungs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, rounds)
+	for i := 0; i < rounds; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			in := testInstance(int64(100+i), 30, 10, 2)
+			a, _ := l.SolveBudgeted(context.Background(), in)
+			if err := a.Validate(in); err != nil {
+				errs <- fmt.Errorf("round %d: %v", i, err)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -1,7 +1,9 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
@@ -174,7 +176,26 @@ func (p *Platform) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if req.Solver == "" {
 		req.Solver = "GT+ALL"
 	}
-	res, err := p.RunBatch(r.Context(), req.Solver)
+	ctx := r.Context()
+	if p.solveBudget > 0 {
+		// Per-request solve deadline: bounds time queued for the platform
+		// lock plus the solve itself.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.solveBudget)
+		defer cancel()
+	}
+	res, err := p.RunBatch(ctx, req.Solver)
+	if errors.Is(err, ErrBudgetExhausted) {
+		// Degraded, not broken: tell clients when a retry is worth it —
+		// one full budget from now, rounded up to whole seconds.
+		retry := int64(p.solveBudget / time.Second)
+		if p.solveBudget%time.Second != 0 || retry == 0 {
+			retry++
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(retry, 10))
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	}
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return

@@ -8,15 +8,18 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"casc/internal/assign"
 	"casc/internal/coop"
 	"casc/internal/geo"
 	"casc/internal/metrics"
 	"casc/internal/model"
+	"casc/internal/resilience"
 )
 
 // Platform is the in-memory spatial crowdsourcing platform. All methods
@@ -24,7 +27,8 @@ import (
 type Platform struct {
 	mu          sync.Mutex
 	b           int
-	parallelism int // Config.Parallelism
+	parallelism int           // Config.Parallelism
+	solveBudget time.Duration // Config.SolveBudget
 	history     *coop.History
 	clock       func() float64
 
@@ -106,6 +110,15 @@ type Config struct {
 	// (assign.NewParallel): positive values bound the pool, negative use
 	// runtime.GOMAXPROCS(0). The component gauges appear on GET /metrics.
 	Parallelism int
+	// SolveBudget, when positive, bounds each POST /batch solve: the
+	// request runs under a context deadline of this duration and the
+	// solver is wrapped in a resilience.Ladder (solver → TPG → RAND), so
+	// a slow solve degrades to cheaper rungs instead of queueing without
+	// bound. A request whose budget is exhausted — the deadline passed
+	// while queued for the platform lock, or no ladder rung produced a
+	// feasible result — fails with ErrBudgetExhausted, which the HTTP
+	// layer maps to 503 with a Retry-After header.
+	SolveBudget time.Duration
 }
 
 // NewPlatform returns an empty platform.
@@ -123,6 +136,7 @@ func NewPlatform(cfg Config) (*Platform, error) {
 	p := &Platform{
 		b:           cfg.B,
 		parallelism: cfg.Parallelism,
+		solveBudget: cfg.SolveBudget,
 		history:     coop.NewHistory(0, cfg.Alpha, cfg.Omega),
 		clock:       cfg.Clock,
 		workers:     make(map[int]model.Worker),
@@ -221,13 +235,22 @@ type BatchResult struct {
 	ExpiredTasks    int
 }
 
+// ErrBudgetExhausted reports a RunBatch whose Config.SolveBudget ran out
+// with nothing to show: either the request's deadline passed while it was
+// queued for the platform lock, or every ladder rung failed or overran its
+// slice. The HTTP layer maps it to 503 Service Unavailable + Retry-After.
+var ErrBudgetExhausted = errors.New("server: solve budget exhausted")
+
 // RunBatch executes one batch of Algorithm 1 with the named solver: expired
 // tasks are dropped, the current available workers and open tasks form an
 // instance, groups reaching B are dispatched (their workers leave the pool,
 // the tasks await ratings). Returns the dispatched pairs with *external*
-// worker and task IDs.
+// worker and task IDs. With Config.SolveBudget set, the solve runs under a
+// resilience.Ladder and ErrBudgetExhausted is returned — dispatching
+// nothing — when the budget is gone before any rung delivers.
 func (p *Platform) RunBatch(ctx context.Context, solverName string) (*BatchResult, error) {
-	solver, err := assign.ByName(solverName, int64(p.batchCount()))
+	seed := int64(p.batchCount())
+	solver, err := assign.ByName(solverName, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -238,12 +261,26 @@ func (p *Platform) RunBatch(ctx context.Context, solverName string) (*BatchResul
 		}
 		solver = assign.NewParallel(solver, assign.ParallelOptions{
 			Workers: workers,
-			Seed:    int64(p.batchCount()),
+			Seed:    seed,
 		})
 	}
 	solver = assign.Instrument(solver, p.metrics)
+	var ladder *resilience.Ladder
+	if p.solveBudget > 0 {
+		ladder, err = resilience.NewLadder(
+			resilience.Config{Budget: p.solveBudget, Metrics: p.metrics},
+			resilience.Chain(solver, seed)...)
+		if err != nil {
+			return nil, err
+		}
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if ctx.Err() != nil {
+		// The request's solve deadline expired while it was queued for the
+		// lock: refuse instead of solving with no budget left.
+		return nil, fmt.Errorf("%w: deadline passed while queued", ErrBudgetExhausted)
+	}
 	now := p.clock()
 
 	res := &BatchResult{}
@@ -276,9 +313,18 @@ func (p *Platform) RunBatch(ctx context.Context, solverName string) (*BatchResul
 	in.Quality = coop.NewCached(coop.NewSubset(p.history, workerIDs))
 	in.BuildCandidates(model.IndexRTree)
 
-	a, err := solver.Solve(ctx, in)
-	if err != nil {
-		return nil, err
+	var a *model.Assignment
+	if ladder != nil {
+		var out resilience.Outcome
+		a, out = ladder.SolveBudgeted(ctx, in)
+		if out.Exhausted {
+			return nil, fmt.Errorf("%w: no rung finished within %v", ErrBudgetExhausted, p.solveBudget)
+		}
+	} else {
+		a, err = solver.Solve(ctx, in)
+		if err != nil {
+			return nil, err
+		}
 	}
 	res.Upper = assign.Upper(in)
 

@@ -4,13 +4,16 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"casc/internal/geo"
 )
@@ -410,5 +413,73 @@ func TestRunBatchParallelExposesComponentGauges(t *testing.T) {
 	}
 	if !strings.Contains(body, `casc_parallel_components{solver="TPG"} 2`) {
 		t.Errorf("component gauge should report the two spatial clusters; body:\n%s", body)
+	}
+}
+
+// TestSolveBudgetNormalRequestsUnaffected: a generous budget leaves the
+// batch endpoint behaving exactly as before — the ladder's primary rung
+// finishes in budget and is returned.
+func TestSolveBudgetNormalRequestsUnaffected(t *testing.T) {
+	p, err := NewPlatform(Config{B: 2, SolveBudget: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, loc := range []geo.Point{geo.Pt(0.5, 0.5), geo.Pt(0.52, 0.5)} {
+		if _, err := p.RegisterWorker(loc, 0.1, 0.2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := p.PostTask(geo.Pt(0.5, 0.5), 2, 5); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(p.Handler())
+	defer srv.Close()
+	code, body := httpJSON(t, srv, http.MethodPost, "/batch", map[string]string{"solver": "GT"})
+	if code != http.StatusOK {
+		t.Fatalf("budgeted batch returned %d: %v", code, body)
+	}
+}
+
+// TestSolveBudgetExhaustedReturns503 drives the degraded path end to end:
+// a request whose deadline has already passed when RunBatch reaches the
+// platform lock must get 503 with a Retry-After header, and nothing may
+// be dispatched.
+func TestSolveBudgetExhaustedReturns503(t *testing.T) {
+	p, err := NewPlatform(Config{B: 2, SolveBudget: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, loc := range []geo.Point{geo.Pt(0.5, 0.5), geo.Pt(0.52, 0.5)} {
+		if _, err := p.RegisterWorker(loc, 0.1, 0.2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := p.PostTask(geo.Pt(0.5, 0.5), 2, 5); err != nil {
+		t.Fatal(err)
+	}
+
+	// Unit level: a cancelled context at the lock means ErrBudgetExhausted.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.RunBatch(ctx, "GT"); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("RunBatch with dead ctx: err = %v, want ErrBudgetExhausted", err)
+	}
+
+	// HTTP level: a pre-cancelled request context is exactly what an
+	// expired deadline looks like to RunBatch.
+	req := httptest.NewRequest(http.MethodPost, "/batch",
+		strings.NewReader(`{"solver":"GT"}`)).WithContext(ctx)
+	rr := httptest.NewRecorder()
+	p.Handler().ServeHTTP(rr, req)
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503 (body %s)", rr.Code, rr.Body.String())
+	}
+	if ra := rr.Header().Get("Retry-After"); ra == "" {
+		t.Error("503 without Retry-After header")
+	} else if n, err := strconv.Atoi(ra); err != nil || n < 1 {
+		t.Errorf("Retry-After = %q, want a positive integer of seconds", ra)
+	}
+	if st := p.Status(); st.DispatchedTasks != 0 {
+		t.Errorf("exhausted request dispatched %d tasks", st.DispatchedTasks)
 	}
 }
