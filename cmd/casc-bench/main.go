@@ -43,7 +43,7 @@ func main() {
 // in particular) survives error exits.
 func run() error {
 	var (
-		exp      = flag.String("exp", "all", "experiment: capacity|speed|radius|deadline|epsilon|workers|tasks|distribution|optgap|anytime|sources|all|extra|settings")
+		exp      = flag.String("exp", "all", "experiment: capacity|speed|radius|deadline|epsilon|workers|tasks|distribution|optgap|anytime|sources|shards|all|extra|settings")
 		rounds   = flag.Int("rounds", workload.DefaultRounds, "rounds R per sweep point")
 		scale    = flag.Float64("scale", 1.0, "scale factor on m and n (1.0 = paper scale)")
 		seed     = flag.Int64("seed", 1, "random seed")
@@ -53,6 +53,7 @@ func run() error {
 		quiet    = flag.Bool("quiet", false, "suppress progress lines")
 		bjson    = flag.Bool("json", false, "write BENCH_<experiment>.json per experiment (solver, n, mean/p50/p95 latency, score)")
 		jsonDir  = flag.String("json-dir", ".", "directory for BENCH_*.json files")
+		diffDir  = flag.String("diff", "", "diff this run against the committed BENCH_<experiment>.json baselines in this directory (exact scores, bounded latency); non-zero exit on regression")
 		metricsF = flag.String("metrics", "", "write the final metrics snapshot as JSON to this file")
 		parallel = flag.Bool("parallel", false, "decompose each batch into connected components and solve them concurrently")
 		workers  = flag.Int("workers", 0, "component worker pool under -parallel (0: GOMAXPROCS)")
@@ -130,6 +131,18 @@ func run() error {
 			}
 			if !*quiet {
 				fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+			}
+		}
+		if *diffDir != "" {
+			base, err := harness.LoadBench(*diffDir, name)
+			if err != nil {
+				return err
+			}
+			if err := s.BenchFile(opt).DiffAgainst(base); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			if !*quiet {
+				fmt.Fprintf(os.Stderr, "%s matches baseline %s/BENCH_%s.json\n", name, *diffDir, name)
 			}
 		}
 		if !*quiet {

@@ -6,9 +6,18 @@
 // platform state (including the rating history) is loaded at startup and
 // saved on shutdown.
 //
+// With -shards N (N >= 1) the process serves the region-sharded cluster
+// tier instead of the single platform: the unit square is split into N
+// spatial shards, new workers and tasks are placed by the -router policy,
+// and batch rounds decompose into validity-graph components pinned to the
+// shard owning their lowest cell. -admission enables token-bucket load
+// shedding on the mutating endpoints. -snapshot is not supported in
+// sharded mode.
+//
 // Usage:
 //
 //	casc-server -addr :8080 -b 3 -snapshot state.json
+//	casc-server -addr :8080 -b 3 -shards 8 -router region -admission 200
 //
 //	curl -XPOST localhost:8080/workers -d '{"x":0.5,"y":0.5,"speed":0.05,"radius":0.2}'
 //	curl -XPOST localhost:8080/tasks   -d '{"x":0.5,"y":0.5,"capacity":3,"deadline":5}'
@@ -32,6 +41,7 @@ import (
 	"time"
 
 	"casc/internal/server"
+	"casc/internal/shard"
 )
 
 func main() {
@@ -45,24 +55,51 @@ func main() {
 		parallel = flag.Bool("parallel", false, "decompose each batch into connected components and solve them concurrently")
 		workers  = flag.Int("workers", 0, "component worker pool under -parallel (0: GOMAXPROCS)")
 		budget   = flag.Duration("budget", 0, "per-request solve deadline for POST /batch; exhaustion returns 503 + Retry-After")
+		shards   = flag.Int("shards", 0, "spatial shard count; 0 serves the single unsharded platform")
+		routerF  = flag.String("router", "region", "shard placement policy: region, round-robin or least-loaded")
+		admitF   = flag.Float64("admission", 0, "token-bucket admission rate (requests/s) on mutating endpoints; 0 disables")
+		admitB   = flag.Int("admission-burst", 0, "token-bucket burst capacity (0: ceil of -admission)")
 	)
 	flag.Parse()
 
-	parallelism := 0
-	if *parallel {
-		parallelism = *workers
-		if parallelism <= 0 {
-			parallelism = -1 // server.Config: negative selects GOMAXPROCS
+	var handler http.Handler
+	var p *server.Platform
+	if *shards > 0 {
+		if *snapshot != "" {
+			log.Fatal("-snapshot is not supported with -shards")
 		}
-	}
-	p, err := buildPlatform(*snapshot, server.Config{B: *b, Alpha: *alpha, Omega: *omega, EnablePprof: *pprofF, Parallelism: parallelism, SolveBudget: *budget})
-	if err != nil {
-		log.Fatal(err)
+		policy, err := shard.NewPolicy(*routerF)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c, err := shard.NewCluster(shard.Config{
+			K: *shards, B: *b, Alpha: *alpha, Omega: *omega,
+			Router: policy, AdmissionRate: *admitF, AdmissionBurst: *admitB,
+			EnablePprof: *pprofF, SolveBudget: *budget,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		handler = c.Handler()
+	} else {
+		parallelism := 0
+		if *parallel {
+			parallelism = *workers
+			if parallelism <= 0 {
+				parallelism = -1 // server.Config: negative selects GOMAXPROCS
+			}
+		}
+		var err error
+		p, err = buildPlatform(*snapshot, server.Config{B: *b, Alpha: *alpha, Omega: *omega, EnablePprof: *pprofF, Parallelism: parallelism, SolveBudget: *budget})
+		if err != nil {
+			log.Fatal(err)
+		}
+		handler = p.Handler()
 	}
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           p.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -70,7 +107,12 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	fmt.Printf("casc-server listening on %s (B=%d, α=%g, ω=%g)\n", *addr, *b, *alpha, *omega)
+	if *shards > 0 {
+		fmt.Printf("casc-server listening on %s (B=%d, α=%g, ω=%g, shards=%d, router=%s)\n",
+			*addr, *b, *alpha, *omega, *shards, *routerF)
+	} else {
+		fmt.Printf("casc-server listening on %s (B=%d, α=%g, ω=%g)\n", *addr, *b, *alpha, *omega)
+	}
 
 	select {
 	case err := <-errCh:

@@ -15,6 +15,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +30,7 @@ import (
 	"casc/internal/model"
 	"casc/internal/resilience"
 	"casc/internal/roadnet"
+	"casc/internal/shard"
 	"casc/internal/trace"
 	"casc/internal/viz"
 	"casc/internal/workload"
@@ -51,6 +53,7 @@ func main() {
 		parallel = flag.Bool("parallel", false, "decompose each batch into connected components and solve them concurrently")
 		workers  = flag.Int("workers", 0, "component worker pool under -parallel (0: GOMAXPROCS)")
 		budget   = flag.Duration("budget", 0, "per-round solve budget; overruns fall through the anytime ladder (solver → TPG → RAND → empty floor)")
+		shards   = flag.Int("shards", 0, "with -rounds: drive the region-sharded cluster tier with this many spatial shards (0: monolithic batch pipeline)")
 		chaos    = flag.Bool("chaos", false, "inject seeded deterministic faults into every ladder rung (rehearsal mode; seeded by -seed)")
 		chFail   = flag.Float64("chaos-fail", 1.0, "with -chaos: probability a rung solve fails outright")
 		chLat    = flag.Duration("chaos-latency", 0, "with -chaos: max injected latency per rung solve")
@@ -88,6 +91,11 @@ func main() {
 	if *rounds > 1 {
 		if *data != "" {
 			fatal(fmt.Errorf("-rounds simulation generates its own arrivals; drop -data"))
+		}
+		if *shards > 0 {
+			simulateShards(ctx, *solver, *m, *n, *seed, *rounds, *shards, reg, *budget, chaosCfg)
+			ladderSummary(reg)
+			return
 		}
 		par := 0
 		if *parallel {
@@ -247,6 +255,73 @@ func simulate(ctx context.Context, solverName string, compare bool, m, n int, se
 		}
 		fmt.Printf("%-8s %12.2f %11.1f%% %10d %10d %12s\n",
 			name, res.TotalScore, frac, res.DispatchedTasks, res.ExpiredTasks, avg.Round(time.Microsecond))
+	}
+}
+
+// simulateShards drives the -rounds arrival stream through the
+// region-sharded cluster tier instead of the monolithic batch pipeline.
+// Budget-exhausted rounds (every round under -chaos -chaos-fail 1) are
+// all-or-nothing no-ops: nothing dispatches, no worker is lost, and the
+// next round retries — the rehearsal asserts the registries survive.
+func simulateShards(ctx context.Context, solverName string, m, n int, seed int64, rounds, k int, reg *metrics.Registry, budget time.Duration, chaosCfg *resilience.ChaosConfig) {
+	if chaosCfg != nil && budget <= 0 {
+		fatal(fmt.Errorf("-shards with -chaos needs a -budget (the cluster injects faults into the budgeted ladder)"))
+	}
+	p := workload.Default()
+	p.NumWorkers, p.NumTasks = m, n
+	c, err := shard.NewCluster(shard.Config{
+		K: k, B: p.B, Metrics: reg, SolveBudget: budget, Chaos: chaosCfg,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	for _, w := range p.WithSeed(seed).Workers(0) {
+		if _, err := c.RegisterWorker(w.Loc, w.Speed, w.Radius); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("sharded simulation: %d shards, %d rounds, %d workers, %d tasks arriving per round\n\n",
+		k, rounds, m, n)
+	var dispatched, expired, exhausted int
+	var score float64
+	for round := 0; round < rounds; round++ {
+		for _, t := range p.WithSeed(seed + 5000 + int64(round)).Tasks(c.Now()) {
+			if _, err := c.PostTask(t.Loc, t.Capacity, t.Deadline); err != nil {
+				fatal(err)
+			}
+		}
+		res, err := c.RunBatch(ctx, solverName)
+		if errors.Is(err, shard.ErrBudgetExhausted) {
+			exhausted++
+			continue
+		}
+		if err != nil {
+			fatal(err)
+		}
+		dispatched += res.DispatchedTasks
+		expired += res.ExpiredTasks
+		score += res.Score
+		rated := map[int]bool{}
+		for _, pr := range res.Pairs {
+			if rated[pr.Task] {
+				continue
+			}
+			rated[pr.Task] = true
+			s := 0.5
+			if pr.Task%2 == 1 {
+				s = 1.0
+			}
+			if err := c.RateTask(pr.Task, s); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	st := c.Status()
+	fmt.Printf("%-10s %12s %10s %8s %10s %10s\n", "router", "total score", "dispatched", "expired", "exhausted", "workers")
+	fmt.Printf("%-10s %12.2f %10d %8d %10d %10d\n",
+		st.Router, score, dispatched, expired, exhausted, st.AvailableWorkers+st.BusyWorkers)
+	if got := st.AvailableWorkers + st.BusyWorkers; got != m {
+		fatal(fmt.Errorf("registry corrupted: %d workers tracked, %d registered", got, m))
 	}
 }
 

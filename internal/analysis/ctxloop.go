@@ -17,8 +17,9 @@ func newCtxLoop() *Rule {
 		Doc: "exported Solve must take a context.Context and its heavy " +
 			"loops must observe ctx cancellation",
 		// internal/resilience is in scope so ladder rungs and the chaos
-		// decorator can never ignore cancellation in their Solve paths.
-		Scope: []string{"internal/assign", "internal/resilience"},
+		// decorator can never ignore cancellation in their Solve paths;
+		// internal/shard so cluster-tier Solve paths stay cancellable.
+		Scope: []string{"internal/assign", "internal/resilience", "internal/shard"},
 		Check: checkCtxLoop,
 	}
 }

@@ -106,6 +106,9 @@ func TestGolden(t *testing.T) {
 		{fixture: "metricname", rules: []string{"metricname"}},
 		{fixture: "droppederr", rules: []string{"droppederr"}},
 		{fixture: "suppress", rules: []string{"droppederr"}},
+		// The shard fixture exercises the three rules whose scope covers
+		// internal/shard, in one package shaped like the sharded tier.
+		{fixture: "shard", rules: []string{"ctxloop", "seededrand", "metricname"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.fixture, func(t *testing.T) {

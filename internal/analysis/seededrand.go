@@ -20,6 +20,10 @@ func newSeededRand() *Rule {
 		Scope: []string{
 			"internal/assign", "internal/partition",
 			"internal/model", "internal/coop",
+			// The sharded tier replays rounds bitwise across shard counts;
+			// ambient clocks or global randomness there would desync the
+			// N-shard-vs-1-shard equivalence the load test asserts.
+			"internal/shard",
 		},
 		Check: checkSeededRand,
 	}

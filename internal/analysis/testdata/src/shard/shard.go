@@ -1,0 +1,61 @@
+// Package shard is a casc-lint golden fixture mirroring the sharded
+// platform tier's obligations under the repo-wide invariants: shard
+// Solve paths observe cancellation, time reaches shard code through an
+// injectable clock value, and per-shard metric families are declared
+// constants.
+package shard
+
+import (
+	"context"
+	"time"
+
+	"casc/internal/metrics"
+)
+
+const fixtureSolves = "casc_fixture_shard_solves_total"
+
+type subInstance struct{ workers []int }
+
+func solveComponent(subInstance) {}
+
+type Cluster struct{ shards []subInstance }
+
+// Solve fans per-shard sub-instances out without ever observing ctx:
+// a stuck shard would wedge the whole cluster round.
+func (c *Cluster) Solve(ctx context.Context) {
+	for _, sub := range c.shards { // want ctxloop
+		solveComponent(sub)
+	}
+}
+
+type PollingCluster struct{ shards []subInstance }
+
+// Solve polls ctx between shard solves: compliant.
+func (c *PollingCluster) Solve(ctx context.Context) error {
+	for _, sub := range c.shards {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		solveComponent(sub)
+	}
+	return nil
+}
+
+// leakWallClock stamps arrivals straight from the wall clock, breaking
+// seed reproducibility of sharded rounds.
+func leakWallClock() float64 {
+	return float64(time.Now().UnixNano()) // want seededrand
+}
+
+// now is the injectable-clock idiom the real shard package uses: a
+// value assignment, swappable in tests, is compliant.
+var now = time.Now
+
+func okInjectedClock() time.Time {
+	return now()
+}
+
+func registerShardMetrics(reg *metrics.Registry) {
+	reg.Counter(fixtureSolves, "Declared constant: compliant.").Inc()
+	reg.Gauge("casc_fixture_shard_open_tasks", "Inline literal.").Set(0) // want metricname
+}

@@ -324,8 +324,24 @@ type pairEntry struct {
 
 type pairHeap []pairEntry
 
-func (h pairHeap) Len() int            { return len(h) }
-func (h pairHeap) Less(i, j int) bool  { return h[i].delta > h[j].delta }
+func (h pairHeap) Len() int { return len(h) }
+
+// Less orders by descending gain with a (task, worker) lexicographic
+// tie-break. Exact ΔQ ties are common — a cold history model gives every
+// pair the identical prior — and without the tie-break the pop order among
+// equal gains would depend on incidental heap layout, i.e. on which other
+// pairs happen to share the heap. The tie-break makes stage two a function
+// of the component alone, so solving components separately (parallel or
+// sharded decomposition) commits the same pairs as one monolithic solve.
+func (h pairHeap) Less(i, j int) bool {
+	if h[i].delta != h[j].delta {
+		return h[i].delta > h[j].delta
+	}
+	if h[i].task != h[j].task {
+		return h[i].task < h[j].task
+	}
+	return h[i].worker < h[j].worker
+}
 func (h pairHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *pairHeap) Push(x interface{}) { *h = append(*h, x.(pairEntry)) }
 func (h *pairHeap) Pop() interface{} {

@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"time"
 )
 
@@ -120,6 +121,91 @@ func (s *Series) BenchFile(opt Options) *BenchFile {
 		BudgetMS:   float64(opt.Budget) / float64(time.Millisecond),
 		Entries:    s.BenchEntries(),
 	}
+}
+
+// LoadBench reads the committed BENCH_<experiment>.json baseline from dir.
+func LoadBench(dir, experiment string) (*BenchFile, error) {
+	path := filepath.Join(dir, fmt.Sprintf("BENCH_%s.json", experiment))
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var b BenchFile
+	if err := json.NewDecoder(f).Decode(&b); err != nil {
+		return nil, fmt.Errorf("harness: %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// Latency regression tolerances for DiffAgainst. Scores are deterministic
+// for a fixed (seed, scale, rounds) configuration and must match exactly;
+// latencies depend on the machine, so a fresh run only fails when it is
+// implausibly slower than the committed baseline.
+const (
+	// DiffLatencyFactor is the multiple of the baseline latency a fresh
+	// run may reach before the diff fails.
+	DiffLatencyFactor = 5.0
+	// DiffLatencyFloorMS absorbs noise on sub-millisecond baselines where
+	// a pure factor would trip on scheduler jitter.
+	DiffLatencyFloorMS = 50.0
+)
+
+// DiffAgainst compares a fresh bench run to a committed baseline: the
+// configurations must agree, every (sweep point, solver) datapoint must be
+// present, scores (and upper bounds) must match bitwise, and mean/p95
+// latencies must stay under DiffLatencyFactor× the baseline (plus
+// DiffLatencyFloorMS). It returns an error describing the first few
+// mismatches, nil when the run is clean.
+func (b *BenchFile) DiffAgainst(base *BenchFile) error {
+	var errs []string
+	fail := func(format string, args ...any) {
+		if len(errs) < 10 {
+			errs = append(errs, fmt.Sprintf(format, args...))
+		}
+	}
+	if b.Experiment != base.Experiment {
+		fail("experiment %q != baseline %q", b.Experiment, base.Experiment)
+	}
+	if b.Rounds != base.Rounds || b.Seed != base.Seed || b.Scale != base.Scale ||
+		b.Parallel != base.Parallel || b.BudgetMS != base.BudgetMS {
+		fail("run config (rounds=%d seed=%d scale=%v parallel=%v budget=%vms) != baseline (rounds=%d seed=%d scale=%v parallel=%v budget=%vms); regenerate the baseline or fix the flags",
+			b.Rounds, b.Seed, b.Scale, b.Parallel, b.BudgetMS,
+			base.Rounds, base.Seed, base.Scale, base.Parallel, base.BudgetMS)
+	}
+	type key struct{ x, solver string }
+	fresh := make(map[key]BenchEntry, len(b.Entries))
+	for _, e := range b.Entries {
+		fresh[key{e.X, e.Solver}] = e
+	}
+	for _, want := range base.Entries {
+		got, ok := fresh[key{want.X, want.Solver}]
+		if !ok {
+			fail("datapoint (%s=%s, %s) missing from fresh run", b.XLabel, want.X, want.Solver)
+			continue
+		}
+		if got.Score != want.Score {
+			fail("(%s=%s, %s) score %v != baseline %v", b.XLabel, want.X, want.Solver, got.Score, want.Score)
+		}
+		if got.Upper != want.Upper {
+			fail("(%s=%s, %s) upper %v != baseline %v", b.XLabel, want.X, want.Solver, got.Upper, want.Upper)
+		}
+		if lim := want.P95MS*DiffLatencyFactor + DiffLatencyFloorMS; got.P95MS > lim {
+			fail("(%s=%s, %s) p95 %.1fms exceeds %.1fms (baseline %.1fms × %v + %vms)",
+				b.XLabel, want.X, want.Solver, got.P95MS, lim, want.P95MS, DiffLatencyFactor, DiffLatencyFloorMS)
+		}
+		if lim := want.MeanMS*DiffLatencyFactor + DiffLatencyFloorMS; got.MeanMS > lim {
+			fail("(%s=%s, %s) mean %.1fms exceeds %.1fms (baseline %.1fms × %v + %vms)",
+				b.XLabel, want.X, want.Solver, got.MeanMS, lim, want.MeanMS, DiffLatencyFactor, DiffLatencyFloorMS)
+		}
+	}
+	if len(b.Entries) > len(base.Entries) {
+		fail("fresh run has %d datapoints, baseline %d — commit a regenerated baseline", len(b.Entries), len(base.Entries))
+	}
+	if errs != nil {
+		return fmt.Errorf("bench diff vs baseline failed:\n  %s", strings.Join(errs, "\n  "))
+	}
+	return nil
 }
 
 // WriteBench writes the document as indented JSON.

@@ -199,6 +199,8 @@ func Run(ctx context.Context, name string, opt Options) (*Series, error) {
 		return runAnytime(ctx, opt)
 	case ExpSources:
 		return runSources(ctx, opt)
+	case ExpShards:
+		return runShards(ctx, opt)
 	default:
 		return nil, fmt.Errorf("harness: unknown experiment %q (have %v)", name, AllExperiments())
 	}

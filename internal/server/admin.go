@@ -112,8 +112,8 @@ type SnapshotGroup struct {
 
 // Snapshot captures the platform state.
 func (p *Platform) Snapshot() *Snapshot {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	s := &Snapshot{
 		B:            p.b,
 		NextWorkerID: p.nextWorkerID,
@@ -252,8 +252,8 @@ func LoadSnapshotFile(path string) (*Snapshot, error) {
 
 // ListWorkers returns the available workers sorted by ID.
 func (p *Platform) ListWorkers() []SnapshotWorker {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	out := make([]SnapshotWorker, 0, len(p.workers))
 	for id, w := range p.workers {
 		out = append(out, SnapshotWorker{
@@ -266,8 +266,8 @@ func (p *Platform) ListWorkers() []SnapshotWorker {
 
 // ListTasks returns the open tasks sorted by ID.
 func (p *Platform) ListTasks() []SnapshotTask {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	out := make([]SnapshotTask, 0, len(p.tasks))
 	for id, t := range p.tasks {
 		out = append(out, SnapshotTask{

@@ -25,7 +25,7 @@ import (
 // Platform is the in-memory spatial crowdsourcing platform. All methods
 // are safe for concurrent use.
 type Platform struct {
-	mu          sync.Mutex
+	mu          sync.RWMutex
 	b           int
 	parallelism int           // Config.Parallelism
 	solveBudget time.Duration // Config.SolveBudget
@@ -369,8 +369,8 @@ func (p *Platform) RunBatch(ctx context.Context, solverName string) (*BatchResul
 }
 
 func (p *Platform) batchCount() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	return p.batches
 }
 
@@ -407,8 +407,8 @@ func (p *Platform) RateTask(taskID int, score float64) error {
 
 // Quality returns the current Equation 1 estimate for two workers.
 func (p *Platform) Quality(i, k int) (float64, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	if i == k || i < 0 || k < 0 || i >= p.nextWorkerID || k >= p.nextWorkerID {
 		return 0, fmt.Errorf("server: bad worker pair (%d,%d)", i, k)
 	}
@@ -425,10 +425,12 @@ type Status struct {
 	Now              float64 `json:"now"`
 }
 
-// Status reports the platform snapshot.
+// Status reports the platform snapshot. Reads take the shared lock, so
+// status polls (and the other read-only endpoints) proceed concurrently
+// with each other and never queue behind one another during a long solve.
 func (p *Platform) Status() Status {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	return Status{
 		AvailableWorkers: len(p.workers),
 		OpenTasks:        len(p.tasks),

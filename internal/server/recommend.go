@@ -31,8 +31,8 @@ type Recommendation struct {
 // provisional group (size B−1) — the best group the worker could hope to
 // join there.
 func (p *Platform) Recommend(workerID int, limit int) ([]Recommendation, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	w, ok := p.workers[workerID]
 	if !ok {
 		return nil, fmt.Errorf("server: worker %d not available (unknown or busy)", workerID)

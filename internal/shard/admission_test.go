@@ -1,0 +1,66 @@
+package shard
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"casc/internal/metrics"
+)
+
+// withFakeClock substitutes the package clock for the test's lifetime and
+// returns an advance function.
+func withFakeClock(t *testing.T) func(time.Duration) {
+	t.Helper()
+	cur := time.Unix(1_000_000, 0)
+	old := now
+	now = func() time.Time { return cur }
+	t.Cleanup(func() { now = old })
+	return func(d time.Duration) { cur = cur.Add(d) }
+}
+
+func TestTokenBucketValidation(t *testing.T) {
+	for _, rate := range []float64{0, -1} {
+		if _, err := NewTokenBucket(rate, 1, nil); err == nil {
+			t.Errorf("rate %v accepted", rate)
+		}
+	}
+}
+
+func TestTokenBucketBurstThenShed(t *testing.T) {
+	advance := withFakeClock(t)
+	reg := metrics.NewRegistry()
+	tb, err := NewTokenBucket(2, 3, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := tb.Admit(); err != nil {
+			t.Fatalf("admit %d within burst: %v", i, err)
+		}
+	}
+	err = tb.Admit()
+	var shed *ErrAdmission
+	if !errors.As(err, &shed) {
+		t.Fatalf("drained bucket admitted: %v", err)
+	}
+	// At 2 tokens/s an empty bucket has a whole token after 500ms.
+	if shed.RetryAfter <= 0 || shed.RetryAfter > 500*time.Millisecond {
+		t.Errorf("RetryAfter = %v, want (0, 500ms]", shed.RetryAfter)
+	}
+	advance(500 * time.Millisecond)
+	if err := tb.Admit(); err != nil {
+		t.Fatalf("admit after refill: %v", err)
+	}
+	// Refill is capped at the burst: a long idle stretch must not bank
+	// more than 3 tokens.
+	advance(time.Hour)
+	for i := 0; i < 3; i++ {
+		if err := tb.Admit(); err != nil {
+			t.Fatalf("admit %d after idle: %v", i, err)
+		}
+	}
+	if err := tb.Admit(); err == nil {
+		t.Error("burst cap not enforced after idle refill")
+	}
+}

@@ -1,0 +1,10 @@
+package shard
+
+import "time"
+
+// now is the package wall clock used for admission-control refills and
+// solve-latency instrumentation. It is a variable holding time.Now rather
+// than direct calls so tests can substitute a fake and so no assignment
+// path reads the wall clock directly — the seededrand invariant casc-lint
+// enforces for this package.
+var now = time.Now

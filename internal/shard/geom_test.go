@@ -1,0 +1,70 @@
+package shard
+
+import (
+	"testing"
+
+	"casc/internal/geo"
+)
+
+func TestNewGeometryValidation(t *testing.T) {
+	if _, err := NewGeometry(0, 0); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if _, err := NewGeometry(4, 17); err == nil {
+		t.Error("K above cell count accepted")
+	}
+	g, err := NewGeometry(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Resolution != DefaultResolution {
+		t.Errorf("Resolution = %d, want default %d", g.Resolution, DefaultResolution)
+	}
+}
+
+// TestGeometryPartition checks the ownership map is a partition: every
+// cell belongs to exactly one shard, shard IDs are contiguous starting at
+// zero, and ownership is monotone in the cell index (contiguous bands).
+func TestGeometryPartition(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 5, 8} {
+		g, err := NewGeometry(8, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := 0
+		seen := make(map[int]bool)
+		for cell := 0; cell < g.Cells(); cell++ {
+			s := g.ShardOfCell(cell)
+			if s < 0 || s >= k {
+				t.Fatalf("K=%d: cell %d maps to shard %d", k, cell, s)
+			}
+			if s < prev {
+				t.Fatalf("K=%d: ownership not monotone at cell %d", k, cell)
+			}
+			prev = s
+			seen[s] = true
+		}
+		if len(seen) != k {
+			t.Errorf("K=%d: only %d shards own cells", k, len(seen))
+		}
+	}
+}
+
+func TestGeometryClamping(t *testing.T) {
+	g, err := NewGeometry(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []geo.Point{
+		geo.Pt(-1, -1), geo.Pt(0, 0), geo.Pt(1, 1), geo.Pt(2, 2), geo.Pt(0.5, -0.5),
+	} {
+		cell := g.CellOf(p)
+		if cell < 0 || cell >= g.Cells() {
+			t.Errorf("CellOf(%v) = %d outside [0,%d)", p, cell, g.Cells())
+		}
+		s := g.ShardOf(p)
+		if s < 0 || s >= 2 {
+			t.Errorf("ShardOf(%v) = %d", p, s)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"casc/internal/geo"
+)
+
+// RouteInfo is the per-request context a routing policy decides on.
+type RouteInfo struct {
+	// Loc is the location of the worker or task being placed.
+	Loc geo.Point
+	// Owner is the shard whose region contains Loc.
+	Owner int
+	// Loads[s] is the number of registered entities (available workers plus
+	// open tasks) shard s currently holds.
+	Loads []int
+}
+
+// Policy decides which shard stores a newly registered worker or posted
+// task. Routing is a *placement* decision only: batch assignment gathers
+// the whole world each round and pins work by component geometry, so any
+// policy yields the same assignments — policies trade registry balance
+// against locality. Policies must be safe for concurrent use.
+type Policy interface {
+	Name() string
+	Route(info RouteInfo) int
+}
+
+// Router names, accepted by NewPolicy and the casc-server -router flag.
+const (
+	PolicyRegion     = "region"
+	PolicyRoundRobin = "round-robin"
+	PolicyLeastLoad  = "least-loaded"
+)
+
+// NewPolicy returns the named routing policy. Names are case-insensitive;
+// "rr" and "least" are accepted shorthands.
+func NewPolicy(name string) (Policy, error) {
+	switch strings.ToLower(name) {
+	case PolicyRegion, "":
+		return regionPolicy{}, nil
+	case PolicyRoundRobin, "rr":
+		return &roundRobinPolicy{}, nil
+	case PolicyLeastLoad, "least":
+		return leastLoadedPolicy{}, nil
+	}
+	return nil, fmt.Errorf("shard: unknown router policy %q (want %s)",
+		name, strings.Join(PolicyNames(), ", "))
+}
+
+// PolicyNames lists the registered policy names, sorted.
+func PolicyNames() []string {
+	names := []string{PolicyRegion, PolicyRoundRobin, PolicyLeastLoad}
+	sort.Strings(names)
+	return names
+}
+
+// regionPolicy places every entity on the shard owning its location cell:
+// maximal locality, so border traffic and rating handoffs are rare, at the
+// cost of mirroring any spatial skew straight into registry load.
+type regionPolicy struct{}
+
+func (regionPolicy) Name() string             { return PolicyRegion }
+func (regionPolicy) Route(info RouteInfo) int { return info.Owner }
+
+// roundRobinPolicy spreads placements evenly regardless of location — the
+// classic stateless spreader. An atomic cursor keeps it safe under
+// concurrent registrations.
+type roundRobinPolicy struct {
+	next atomic.Uint64
+}
+
+func (*roundRobinPolicy) Name() string { return PolicyRoundRobin }
+
+func (p *roundRobinPolicy) Route(info RouteInfo) int {
+	return int((p.next.Add(1) - 1) % uint64(len(info.Loads)))
+}
+
+// leastLoadedPolicy places on the shard with the fewest registered
+// entities, ties broken toward the lowest shard index. It consumes exactly
+// the per-shard arrival-intensity signal the prediction-based assignment
+// literature motivates for load models.
+type leastLoadedPolicy struct{}
+
+func (leastLoadedPolicy) Name() string { return PolicyLeastLoad }
+
+func (leastLoadedPolicy) Route(info RouteInfo) int {
+	best := 0
+	for s := 1; s < len(info.Loads); s++ {
+		if info.Loads[s] < info.Loads[best] {
+			best = s
+		}
+	}
+	return best
+}

@@ -1,0 +1,42 @@
+package shard
+
+import (
+	"testing"
+
+	"casc/internal/geo"
+)
+
+func TestNewPolicyNames(t *testing.T) {
+	for _, name := range []string{"region", "REGION", "", "round-robin", "rr", "least-loaded", "least"} {
+		if _, err := NewPolicy(name); err != nil {
+			t.Errorf("NewPolicy(%q): %v", name, err)
+		}
+	}
+	if _, err := NewPolicy("bogus"); err == nil {
+		t.Error("bogus policy accepted")
+	}
+}
+
+func TestRegionPolicy(t *testing.T) {
+	p, _ := NewPolicy(PolicyRegion)
+	if got := p.Route(RouteInfo{Owner: 3, Loads: []int{9, 9, 9, 0}}); got != 3 {
+		t.Errorf("region routed to %d, want owner 3", got)
+	}
+}
+
+func TestRoundRobinPolicy(t *testing.T) {
+	p, _ := NewPolicy(PolicyRoundRobin)
+	info := RouteInfo{Loc: geo.Pt(0.5, 0.5), Loads: []int{0, 0, 0}}
+	for i := 0; i < 7; i++ {
+		if got, want := p.Route(info), i%3; got != want {
+			t.Fatalf("route %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestLeastLoadedPolicy(t *testing.T) {
+	p, _ := NewPolicy(PolicyLeastLoad)
+	if got := p.Route(RouteInfo{Loads: []int{5, 2, 2, 9}}); got != 1 {
+		t.Errorf("least-loaded routed to %d, want 1 (lowest index tie)", got)
+	}
+}

@@ -1,0 +1,160 @@
+package workload
+
+import (
+	"casc/internal/geo"
+	"casc/internal/model"
+	"casc/internal/stats"
+)
+
+// BlobParams generates the shard load-test workload: a grid of isolated
+// Gaussian "blob" sites whose spacing exceeds twice the worker radius, so
+// the validity graph decomposes into one component per site. A band of hot
+// rows at the bottom of the square concentrates workers but starves them
+// of tasks, producing heavy best-response contention confined to one
+// region — the spatial skew the sharded tier exists to isolate. Per-worker
+// best-response cost is uniform (every worker reaches only its own site's
+// tasks); what varies is how many game rounds a site needs to converge,
+// which is exactly the coupling a monolithic solve pays for globally and a
+// sharded solve pays for only in the hot region.
+type BlobParams struct {
+	NumWorkers int // m: total workers
+	// GridSize is the number of blob sites per axis (default 50).
+	GridSize int
+	// HotRows is how many of the bottom site rows are contention-heavy
+	// (default 6).
+	HotRows int
+	// HotFrac is the fraction of workers packed into the hot rows
+	// (default 0.2).
+	HotFrac float64
+	// Sigma is the per-site location jitter (default 0.004); Radius the
+	// uniform worker radius (default 0.006). Defaults keep sites isolated:
+	// site spacing is 1/GridSize = 0.02 > 2*(3σ-ish reach + radius) holds
+	// in practice because jitter is clamped to ±Spacing/4 around the site.
+	Sigma  float64
+	Radius float64
+	// Speed is the uniform worker speed (default 0.05).
+	Speed float64
+	// HotTasks and LightTasks are tasks per hot / light site (defaults 2
+	// and 10): hot sites have far fewer slots than workers.
+	HotTasks, LightTasks int
+	// Capacity is a_j for every task (default 5); B the platform quorum
+	// (default 3).
+	Capacity int
+	B        int
+	Seed     int64
+}
+
+// WithBlobDefaults fills zero fields with the load-test defaults.
+func (p BlobParams) WithBlobDefaults() BlobParams {
+	if p.NumWorkers == 0 {
+		p.NumWorkers = 100000
+	}
+	if p.GridSize == 0 {
+		p.GridSize = 50
+	}
+	if p.HotRows == 0 {
+		p.HotRows = 6
+	}
+	if p.HotFrac == 0 {
+		p.HotFrac = 0.2
+	}
+	if p.Sigma == 0 {
+		p.Sigma = 0.004
+	}
+	if p.Radius == 0 {
+		p.Radius = 0.006
+	}
+	if p.Speed == 0 {
+		p.Speed = 0.05
+	}
+	if p.HotTasks == 0 {
+		p.HotTasks = 2
+	}
+	if p.LightTasks == 0 {
+		p.LightTasks = 10
+	}
+	if p.Capacity == 0 {
+		p.Capacity = 5
+	}
+	if p.B == 0 {
+		p.B = 3
+	}
+	return p
+}
+
+// BlobWorkload is one generated round: worker and task specs ready to be
+// registered on a platform or cluster (IDs are assigned at registration).
+// Task Deadline is relative remaining time; callers add the platform clock.
+type BlobWorkload struct {
+	Workers []model.Worker
+	Tasks   []model.Task
+}
+
+// sites returns the blob site centers in row-major order (bottom rows
+// first) along with how many of them are hot, so callers can split the
+// slice into hot and light sites.
+func (p BlobParams) sites() (all []geo.Point, hot int) {
+	spacing := 1.0 / float64(p.GridSize)
+	for iy := 0; iy < p.GridSize; iy++ {
+		for ix := 0; ix < p.GridSize; ix++ {
+			all = append(all, geo.Pt(spacing/2+spacing*float64(ix), spacing/2+spacing*float64(iy)))
+		}
+	}
+	return all, p.HotRows * p.GridSize
+}
+
+// jitter draws a clamped Gaussian offset around a site center so blobs
+// never bleed into a neighboring site's reach.
+func (p BlobParams) jitter(rng interface{ NormFloat64() float64 }, c geo.Point) geo.Point {
+	spacing := 1.0 / float64(p.GridSize)
+	lim := spacing / 4
+	dx := rng.NormFloat64() * p.Sigma
+	dy := rng.NormFloat64() * p.Sigma
+	if dx > lim {
+		dx = lim
+	} else if dx < -lim {
+		dx = -lim
+	}
+	if dy > lim {
+		dy = lim
+	} else if dy < -lim {
+		dy = -lim
+	}
+	return geo.Pt(c.X+dx, c.Y+dy)
+}
+
+// GenerateBlobs produces one round of the load-test workload: hot-row
+// workers round-robin over the hot sites, the rest round-robin over the
+// light sites, and each site gets its HotTasks/LightTasks task quota.
+func GenerateBlobs(p BlobParams) BlobWorkload {
+	p = p.WithBlobDefaults()
+	rng := stats.NewRNG(p.Seed)
+	all, hotCount := p.sites()
+	hotSites, lightSites := all[:hotCount], all[hotCount:]
+
+	var w BlobWorkload
+	mHot := int(float64(p.NumWorkers) * p.HotFrac)
+	for i := 0; i < p.NumWorkers; i++ {
+		var site geo.Point
+		if i < mHot {
+			site = hotSites[i%len(hotSites)]
+		} else {
+			site = lightSites[(i-mHot)%len(lightSites)]
+		}
+		w.Workers = append(w.Workers, model.Worker{
+			Loc: p.jitter(rng, site), Speed: p.Speed, Radius: p.Radius,
+		})
+	}
+	addTasks := func(sites []geo.Point, perSite int) {
+		for _, site := range sites {
+			for j := 0; j < perSite; j++ {
+				w.Tasks = append(w.Tasks, model.Task{
+					Loc: p.jitter(rng, site), Capacity: p.Capacity, Deadline: 1.5,
+				})
+			}
+		}
+	}
+	addTasks(hotSites, p.HotTasks)
+	addTasks(lightSites, p.LightTasks)
+	return w
+}
