@@ -59,6 +59,7 @@ func main() {
 		routerF  = flag.String("router", "region", "shard placement policy: region, round-robin or least-loaded")
 		admitF   = flag.Float64("admission", 0, "token-bucket admission rate (requests/s) on mutating endpoints; 0 disables")
 		admitB   = flag.Int("admission-burst", 0, "token-bucket burst capacity (0: ceil of -admission)")
+		incr     = flag.Bool("incremental", false, "with -shards: maintain the candidate graph in the persistent incremental engine across batches (bitwise identical results)")
 	)
 	flag.Parse()
 
@@ -75,13 +76,16 @@ func main() {
 		c, err := shard.NewCluster(shard.Config{
 			K: *shards, B: *b, Alpha: *alpha, Omega: *omega,
 			Router: policy, AdmissionRate: *admitF, AdmissionBurst: *admitB,
-			EnablePprof: *pprofF, SolveBudget: *budget,
+			EnablePprof: *pprofF, SolveBudget: *budget, Incremental: *incr,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		handler = c.Handler()
 	} else {
+		if *incr {
+			log.Fatal("-incremental requires -shards (the unsharded platform solves single batches with no cross-round state)")
+		}
 		parallelism := 0
 		if *parallel {
 			parallelism = *workers

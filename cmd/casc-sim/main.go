@@ -54,6 +54,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "component worker pool under -parallel (0: GOMAXPROCS)")
 		budget   = flag.Duration("budget", 0, "per-round solve budget; overruns fall through the anytime ladder (solver → TPG → RAND → empty floor)")
 		shards   = flag.Int("shards", 0, "with -rounds: drive the region-sharded cluster tier with this many spatial shards (0: monolithic batch pipeline)")
+		incr     = flag.Bool("incremental", false, "with -rounds: solve through the persistent incremental engine (dirty-component re-solve; bitwise identical rounds for deterministic solvers)")
 		chaos    = flag.Bool("chaos", false, "inject seeded deterministic faults into every ladder rung (rehearsal mode; seeded by -seed)")
 		chFail   = flag.Float64("chaos-fail", 1.0, "with -chaos: probability a rung solve fails outright")
 		chLat    = flag.Duration("chaos-latency", 0, "with -chaos: max injected latency per rung solve")
@@ -93,7 +94,7 @@ func main() {
 			fatal(fmt.Errorf("-rounds simulation generates its own arrivals; drop -data"))
 		}
 		if *shards > 0 {
-			simulateShards(ctx, *solver, *m, *n, *seed, *rounds, *shards, reg, *budget, chaosCfg)
+			simulateShards(ctx, *solver, *m, *n, *seed, *rounds, *shards, reg, *budget, chaosCfg, *incr)
 			ladderSummary(reg)
 			return
 		}
@@ -104,7 +105,7 @@ func main() {
 				par = -1 // batch.Config: negative selects GOMAXPROCS
 			}
 		}
-		simulate(ctx, *solver, *compare, *m, *n, *seed, *rounds, kind, *traceF, reg, par, *budget, chaosCfg)
+		simulate(ctx, *solver, *compare, *m, *n, *seed, *rounds, kind, *traceF, reg, par, *budget, chaosCfg, *incr)
 		ladderSummary(reg)
 		return
 	}
@@ -193,7 +194,7 @@ func main() {
 // simulate runs the Algorithm 1 simulator: fresh worker/task waves each
 // round, carry-over of unserved tasks, busy workers returning after
 // service.
-func simulate(ctx context.Context, solverName string, compare bool, m, n int, seed int64, rounds int, kind model.IndexKind, tracePath string, reg *metrics.Registry, parallelism int, budget time.Duration, chaosCfg *resilience.ChaosConfig) {
+func simulate(ctx context.Context, solverName string, compare bool, m, n int, seed int64, rounds int, kind model.IndexKind, tracePath string, reg *metrics.Registry, parallelism int, budget time.Duration, chaosCfg *resilience.ChaosConfig, incremental bool) {
 	names := []string{solverName}
 	if compare {
 		names = assign.AllNames()
@@ -240,6 +241,7 @@ func simulate(ctx context.Context, solverName string, compare bool, m, n int, se
 			Seed:        seed,
 			RoundBudget: budget,
 			Chaos:       chaosCfg,
+			Incremental: incremental,
 		}, src)
 		if err != nil {
 			fatal(err)
@@ -263,7 +265,7 @@ func simulate(ctx context.Context, solverName string, compare bool, m, n int, se
 // Budget-exhausted rounds (every round under -chaos -chaos-fail 1) are
 // all-or-nothing no-ops: nothing dispatches, no worker is lost, and the
 // next round retries — the rehearsal asserts the registries survive.
-func simulateShards(ctx context.Context, solverName string, m, n int, seed int64, rounds, k int, reg *metrics.Registry, budget time.Duration, chaosCfg *resilience.ChaosConfig) {
+func simulateShards(ctx context.Context, solverName string, m, n int, seed int64, rounds, k int, reg *metrics.Registry, budget time.Duration, chaosCfg *resilience.ChaosConfig, incremental bool) {
 	if chaosCfg != nil && budget <= 0 {
 		fatal(fmt.Errorf("-shards with -chaos needs a -budget (the cluster injects faults into the budgeted ladder)"))
 	}
@@ -271,6 +273,7 @@ func simulateShards(ctx context.Context, solverName string, m, n int, seed int64
 	p.NumWorkers, p.NumTasks = m, n
 	c, err := shard.NewCluster(shard.Config{
 		K: k, B: p.B, Metrics: reg, SolveBudget: budget, Chaos: chaosCfg,
+		Incremental: incremental,
 	})
 	if err != nil {
 		fatal(err)

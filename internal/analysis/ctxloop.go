@@ -18,8 +18,10 @@ func newCtxLoop() *Rule {
 			"loops must observe ctx cancellation",
 		// internal/resilience is in scope so ladder rungs and the chaos
 		// decorator can never ignore cancellation in their Solve paths;
-		// internal/shard so cluster-tier Solve paths stay cancellable.
-		Scope: []string{"internal/assign", "internal/resilience", "internal/shard"},
+		// internal/shard so cluster-tier Solve paths stay cancellable;
+		// internal/incremental so the engine's per-component Solve loop
+		// stays reactive under a round budget.
+		Scope: []string{"internal/assign", "internal/resilience", "internal/shard", "internal/incremental"},
 		Check: checkCtxLoop,
 	}
 }

@@ -109,6 +109,9 @@ func TestGolden(t *testing.T) {
 		// The shard fixture exercises the three rules whose scope covers
 		// internal/shard, in one package shaped like the sharded tier.
 		{fixture: "shard", rules: []string{"ctxloop", "seededrand", "metricname"}},
+		// The incremental fixture exercises the three rules whose scope
+		// covers internal/incremental, shaped like the persistent engine.
+		{fixture: "incremental", rules: []string{"ctxloop", "seededrand", "maporder"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.fixture, func(t *testing.T) {

@@ -23,6 +23,10 @@ func newMapOrder() *Rule {
 		Scope: []string{
 			"internal/assign", "internal/partition",
 			"internal/model", "internal/coop",
+			// The incremental engine keys live entities by uid maps; an
+			// iteration-order leak into its instance assembly would change
+			// candidate order and with it every downstream solver decision.
+			"internal/incremental",
 		},
 		Check: checkMapOrder,
 	}

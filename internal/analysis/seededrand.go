@@ -24,6 +24,10 @@ func newSeededRand() *Rule {
 			// ambient clocks or global randomness there would desync the
 			// N-shard-vs-1-shard equivalence the load test asserts.
 			"internal/shard",
+			// The incremental engine promises rounds bitwise identical to a
+			// from-scratch solve; ambient nondeterminism anywhere in its
+			// carry/re-solve path would break that equivalence silently.
+			"internal/incremental",
 		},
 		Check: checkSeededRand,
 	}

@@ -1,0 +1,74 @@
+// Package incremental is a casc-lint golden fixture mirroring the
+// persistent engine's obligations under the repo-wide invariants: the
+// per-component re-solve loop observes cancellation, randomness and round
+// time are injected rather than ambient, and uid-map iteration order
+// never reaches the assembled instance.
+package incremental
+
+import (
+	"context"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type component struct{ workers []int }
+
+func resolve(component) {}
+
+type Engine struct {
+	comps []component
+	dirty map[int]bool
+}
+
+// Solve re-solves the dirty components without ever observing ctx: a
+// round-budget overrun would not be noticed until the full sweep ends.
+func (e *Engine) Solve(ctx context.Context) {
+	for _, c := range e.comps { // want ctxloop
+		resolve(c)
+	}
+}
+
+type PollingEngine struct{ comps []component }
+
+// Solve polls ctx between component re-solves: compliant.
+func (e *PollingEngine) Solve(ctx context.Context) error {
+	for _, c := range e.comps {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		resolve(c)
+	}
+	return nil
+}
+
+// prewarmJitter staggers predictor refreshes off the process-global
+// source, so replaying a round would draw different offsets.
+func prewarmJitter() int {
+	return rand.Intn(8) // want seededrand
+}
+
+// roundStamp reads the wall clock instead of the injected round time.
+func roundStamp() time.Time {
+	return time.Now() // want seededrand
+}
+
+// liveUIDs rebuilds the live-entity list in map order: candidate order —
+// and every solver decision downstream of it — would inherit the leak.
+func (e *Engine) liveUIDs() []int {
+	var live []int
+	for uid := range e.dirty { // want maporder
+		live = append(live, uid)
+	}
+	return live
+}
+
+// sortedUIDs collects then sorts, the idiom that restores determinism.
+func (e *Engine) sortedUIDs() []int {
+	var live []int
+	for uid := range e.dirty {
+		live = append(live, uid)
+	}
+	sort.Ints(live)
+	return live
+}

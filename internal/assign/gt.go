@@ -93,11 +93,24 @@ func (s *GT) Name() string {
 
 // Solve implements Solver.
 func (s *GT) Solve(ctx context.Context, in *model.Instance) (*model.Assignment, error) {
+	return s.solve(ctx, in, nil)
+}
+
+// SolveWarm implements WarmStarter: the warm cache accelerates the TPG
+// initialization of Algorithm 3 line 1 only. Best-response dynamics from an
+// identical initial assignment replay identically, so the output matches a
+// cold Solve exactly; warm-starting from the previous round's *equilibrium*
+// would change the dynamics and is deliberately not done.
+func (s *GT) SolveWarm(ctx context.Context, in *model.Instance, warm *Warm) (*model.Assignment, error) {
+	return s.solve(ctx, in, warm)
+}
+
+func (s *GT) solve(ctx context.Context, in *model.Instance, warm *Warm) (*model.Assignment, error) {
 	var a *model.Assignment
 	if s.opts.RandomInit {
 		a = randomInit(in, s.opts.Seed)
 	} else {
-		init, err := NewTPG().Solve(ctx, in)
+		init, err := NewTPG().solve(ctx, in, warm)
 		if err != nil {
 			return nil, err
 		}

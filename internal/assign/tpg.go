@@ -50,10 +50,23 @@ type tpgCounters struct {
 	heapPushes      uint64
 	heapPops        uint64
 	staleReevals    uint64
+	warmHits        uint64
+	warmMisses      uint64
 }
 
 // Solve implements Solver.
 func (s *TPG) Solve(ctx context.Context, in *model.Instance) (*model.Assignment, error) {
+	return s.solve(ctx, in, nil)
+}
+
+// SolveWarm implements WarmStarter: identical output to Solve, with stage
+// one's iteration-0 best-B-subsets served from the cache on exact
+// fingerprint hits (see Warm) and refreshed into it on misses.
+func (s *TPG) SolveWarm(ctx context.Context, in *model.Instance, warm *Warm) (*model.Assignment, error) {
+	return s.solve(ctx, in, warm)
+}
+
+func (s *TPG) solve(ctx context.Context, in *model.Instance, warm *Warm) (*model.Assignment, error) {
 	a := model.NewAssignment(in)
 	groups := newGroups(in)
 	avail := make([]bool, len(in.Workers))
@@ -61,7 +74,7 @@ func (s *TPG) Solve(ctx context.Context, in *model.Instance) (*model.Assignment,
 		avail[i] = true
 	}
 	var c tpgCounters
-	served := s.stageOne(ctx, in, a, groups, avail, &c)
+	served := s.stageOne(ctx, in, a, groups, avail, &c, warm)
 	if ctx.Err() == nil {
 		s.stageTwo(ctx, in, a, groups, avail, served, &c)
 	}
@@ -80,6 +93,8 @@ func (s *TPG) recordMetrics(c *tpgCounters) {
 	s.Metrics.Counter(MetricTPGHeapPushes, "Stage-two heap pushes.", lbl).Add(c.heapPushes)
 	s.Metrics.Counter(MetricTPGHeapPops, "Stage-two heap pops.", lbl).Add(c.heapPops)
 	s.Metrics.Counter(MetricTPGStaleReevals, "Stage-two stale deltas re-evaluated.", lbl).Add(c.staleReevals)
+	s.Metrics.Counter(MetricTPGWarmHits, "Stage-one iteration-0 subsets served from the warm cache.", lbl).Add(c.warmHits)
+	s.Metrics.Counter(MetricTPGWarmMisses, "Stage-one iteration-0 subsets recomputed into the warm cache.", lbl).Add(c.warmMisses)
 }
 
 // newGroups allocates one GroupScore per task.
@@ -93,7 +108,7 @@ func newGroups(in *model.Instance) []*model.GroupScore {
 
 // stageOne runs Algorithm 2 lines 1-14 and returns the set of tasks that
 // received a B-worker set.
-func (s *TPG) stageOne(ctx context.Context, in *model.Instance, a *model.Assignment, groups []*model.GroupScore, avail []bool, c *tpgCounters) []bool {
+func (s *TPG) stageOne(ctx context.Context, in *model.Instance, a *model.Assignment, groups []*model.GroupScore, avail []bool, c *tpgCounters, warm *Warm) []bool {
 	n := len(in.Tasks)
 	served := make([]bool, n)
 	remaining := make([]bool, n)
@@ -105,6 +120,31 @@ func (s *TPG) stageOne(ctx context.Context, in *model.Instance, a *model.Assignm
 	dirty := make([]bool, n)
 	for t := range dirty {
 		dirty[t] = true
+	}
+
+	if warm != nil {
+		// Iteration-0 sweep: with every worker still available, each task's
+		// best B-subset is a pure function of its candidate sequence,
+		// capacity, B and the quality rows — exactly the fingerprint a Warm
+		// entry pins. Hits replay the cached subset (in its original greedy
+		// commit order) bit for bit; misses compute as usual and refresh the
+		// cache. The main loop below then starts with nothing dirty, just as
+		// a cold solve does after its own first pass.
+		for t := 0; t < n; t++ {
+			if ctx.Err() != nil {
+				return served
+			}
+			if wt := warm.lookup(in, t); wt != nil {
+				bestSet[t], bestScore[t] = wt.apply(in, t)
+				c.warmHits++
+			} else {
+				bestSet[t], bestScore[t] = s.bestBSubset(in, t, avail)
+				warm.store(in, t, bestSet[t], bestScore[t])
+				c.subsetRefreshes++
+				c.warmMisses++
+			}
+			dirty[t] = false
+		}
 	}
 
 	for {
@@ -394,9 +434,15 @@ func (s *TPG) stageTwo(ctx context.Context, in *model.Instance, a *model.Assignm
 			continue
 		}
 		if e.delta <= 0 {
-			// The best remaining pair no longer increases Q(T); assigning it
-			// (or anything below it) would only lower the objective.
-			return
+			// This pair no longer increases Q(T), but the rest of the heap
+			// is not done: entries below it ordered by a stale delta may
+			// re-evaluate higher once their task's group has grown. Drop
+			// just this pair and keep draining — terminating here instead
+			// would also couple components through the shared heap (one
+			// component's non-positive pop abandoning another's pending
+			// re-evaluations), breaking the Less contract that stage two is
+			// a function of the component alone.
+			continue
 		}
 		a.Assign(e.worker, e.task)
 		g.Join(e.worker)

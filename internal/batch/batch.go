@@ -21,6 +21,7 @@ import (
 
 	"casc/internal/assign"
 	"casc/internal/coop"
+	"casc/internal/incremental"
 	"casc/internal/metrics"
 	"casc/internal/model"
 	"casc/internal/resilience"
@@ -30,6 +31,7 @@ import (
 // Metric names recorded by the batch engine when Config.Metrics is set.
 const (
 	MetricRounds          = "casc_batch_rounds_total"
+	MetricNoopRounds      = "casc_batch_noop_rounds_total"
 	MetricDispatchedTasks = "casc_batch_dispatched_tasks_total"
 	MetricDispatchedPairs = "casc_batch_dispatched_pairs_total"
 	MetricExpiredTasks    = "casc_batch_expired_tasks_total"
@@ -43,6 +45,7 @@ const (
 // engineMetrics holds the resolved metric handles for one Run.
 type engineMetrics struct {
 	rounds     *metrics.Counter
+	noopRounds *metrics.Counter
 	dispTasks  *metrics.Counter
 	dispPairs  *metrics.Counter
 	expired    *metrics.Counter
@@ -60,6 +63,7 @@ func newEngineMetrics(reg *metrics.Registry, solver string) *engineMetrics {
 	lbl := metrics.L("solver", solver)
 	return &engineMetrics{
 		rounds:     reg.Counter(MetricRounds, "Batch rounds simulated.", lbl),
+		noopRounds: reg.Counter(MetricNoopRounds, "Rounds short-circuited as provably no-op.", lbl),
 		dispTasks:  reg.Counter(MetricDispatchedTasks, "Tasks dispatched with ≥ B workers.", lbl),
 		dispPairs:  reg.Counter(MetricDispatchedPairs, "Worker-and-task pairs dispatched.", lbl),
 		expired:    reg.Counter(MetricExpiredTasks, "Tasks dropped past their deadline.", lbl),
@@ -140,6 +144,17 @@ type Config struct {
 	// with a zero RoundBudget. The Seed field above drives the schedule;
 	// ChaosConfig.Seed is overridden per rung.
 	Chaos *resilience.ChaosConfig
+	// Incremental replaces the per-round rebuild-and-solve with the
+	// persistent cross-round engine of internal/incremental: the candidate
+	// graph is maintained under churn, only components touched since the
+	// previous round are re-solved (warm-starting the solver), and clean
+	// components carry their assignment forward. For deterministic solvers
+	// (TPG, GT, GT+LUB) every round's score and assignment is bitwise
+	// identical to the default path.
+	Incremental bool
+	// Predict configures the incremental engine's arrival predictor (only
+	// read when Incremental is set; zero value disables prediction).
+	Predict incremental.PredictConfig
 }
 
 // BatchStats records one batch of the simulation.
@@ -152,7 +167,12 @@ type BatchStats struct {
 	AssignedWorkers  int
 	DispatchedTasks  int
 	Score            float64
-	Elapsed          time.Duration
+	// Build is the round's graph-maintenance time: aging and expiry
+	// bookkeeping plus candidate building and partitioning (the persistent
+	// engine's BeginRound/Add/Plan on the incremental path). Elapsed is the
+	// solve proper; Build+Elapsed is the round's pipeline latency.
+	Build   time.Duration
+	Elapsed time.Duration
 }
 
 // Result aggregates a simulation.
@@ -216,8 +236,21 @@ type busyWorker struct {
 	locWhen model.Task // task whose location the worker ends at
 }
 
-// Run simulates Algorithm 1 for cfg.Rounds batches.
-func Run(ctx context.Context, cfg Config, src Source) (*Result, error) {
+// sim is one prepared simulation: the normalized config, the decorated
+// solver stack, and the metric handles. Both round loops (the from-scratch
+// default and the incremental engine) run off the same sim so dispatch,
+// accounting, metrics, and tracing stay a single code path.
+type sim struct {
+	cfg     Config
+	src     Source
+	quality model.QualityModel
+	solver  assign.Solver
+	em      *engineMetrics
+}
+
+// newSim validates cfg and builds the solver stack exactly once:
+// Parallel decomposition, the budget/chaos ladder, and instrumentation.
+func newSim(cfg Config, src Source) (*sim, error) {
 	if cfg.Solver == nil {
 		return nil, fmt.Errorf("batch: nil solver")
 	}
@@ -233,7 +266,6 @@ func Run(ctx context.Context, cfg Config, src Source) (*Result, error) {
 	if cfg.ServiceDuration <= 0 {
 		cfg.ServiceDuration = 1
 	}
-	quality := src.Quality()
 	solver := cfg.Solver
 	if cfg.Parallelism != 0 {
 		workers := cfg.Parallelism
@@ -268,17 +300,41 @@ func Run(ctx context.Context, cfg Config, src Source) (*Result, error) {
 		}
 		solver = ladder
 	}
-	em := newEngineMetrics(cfg.Metrics, cfg.Solver.Name())
 	if cfg.Metrics != nil {
 		solver = assign.Instrument(solver, cfg.Metrics)
 	}
+	return &sim{
+		cfg:     cfg,
+		src:     src,
+		quality: src.Quality(),
+		solver:  solver,
+		em:      newEngineMetrics(cfg.Metrics, cfg.Solver.Name()),
+	}, nil
+}
 
+// Run simulates Algorithm 1 for cfg.Rounds batches.
+func Run(ctx context.Context, cfg Config, src Source) (*Result, error) {
+	s, err := newSim(cfg, src)
+	if err != nil {
+		return nil, err
+	}
+	if s.cfg.Incremental {
+		return s.runIncremental(ctx)
+	}
+	return s.run(ctx)
+}
+
+// run is the from-scratch round loop: every round rebuilds the instance,
+// its candidate lists, and the solution from the live pool.
+func (s *sim) run(ctx context.Context) (*Result, error) {
+	cfg := s.cfg
 	var (
 		pool    []model.Worker // available workers
 		idleFor []int          // consecutive unassigned batches per pool entry
 		pending []pendingTask  // available tasks
 		busy    []busyWorker
 		res     = &Result{}
+		prevVP  = -1 // previous round's valid-pair count; -1 = unknown
 	)
 
 	for round := 0; round < cfg.Rounds; round++ {
@@ -288,8 +344,52 @@ func Run(ctx context.Context, cfg Config, src Source) (*Result, error) {
 		now := float64(round) * cfg.Interval
 		expiredBefore, departedBefore := res.ExpiredTasks, res.DepartedWorkers
 
+		// Sources are consulted exactly once per round, short-circuit or not.
+		newWorkers := s.src.WorkersAt(round)
+		newTasks := s.src.TasksAt(round)
+
+		// No-op short-circuit: with zero churn (no frees, arrivals, or
+		// expiries) and a previous round that had zero valid pairs with
+		// every time gate already passed, this round provably reproduces
+		// it — empty assignment, zero score, zero upper — so skip the
+		// instance build and solve and run only the aging bookkeeping.
+		// The time-gate scan is needed because a worker Arrive or task
+		// Created in the future can validate pairs by time alone.
+		if prevVP == 0 && len(newWorkers) == 0 && len(newTasks) == 0 &&
+			quiescent(pool, pending, busy, now, now-cfg.Interval) {
+			bs := BatchStats{
+				Round:            round,
+				Time:             now,
+				AvailableWorkers: len(pool),
+				AvailableTasks:   len(pending),
+			}
+			var nextPool []model.Worker
+			var nextIdle []int
+			for i, w := range pool {
+				idle := idleFor[i] + 1
+				if cfg.Patience > 0 && idle >= cfg.Patience {
+					res.DepartedWorkers++
+					continue
+				}
+				nextPool = append(nextPool, w)
+				nextIdle = append(nextIdle, idle)
+			}
+			pool = nextPool
+			idleFor = nextIdle
+			res.Batches = append(res.Batches, bs)
+			s.emitRound(&bs, res, expiredBefore, departedBefore, len(pending), len(pool), len(busy))
+			if s.em != nil {
+				s.em.noopRounds.Inc()
+			}
+			if err := s.traceRound(round, now, &bs, 0, 0, nil, nil); err != nil {
+				return res, err
+			}
+			continue
+		}
+
 		// Release workers whose tasks finished (Algorithm 1: "workers that
 		// have finished the previous assigned tasks").
+		buildStart := time.Now()
 		stillBusy := busy[:0]
 		for _, b := range busy {
 			if b.freeAt <= now {
@@ -314,11 +414,11 @@ func Run(ctx context.Context, cfg Config, src Source) (*Result, error) {
 			}
 		}
 		pending = livePending
-		for _, w := range src.WorkersAt(round) {
+		for _, w := range newWorkers {
 			pool = append(pool, w)
 			idleFor = append(idleFor, 0)
 		}
-		for _, t := range src.TasksAt(round) {
+		for _, t := range newTasks {
 			if t.Capacity < cfg.B {
 				return nil, fmt.Errorf("batch: task %d capacity %d below B=%d", t.ID, t.Capacity, cfg.B)
 			}
@@ -335,12 +435,13 @@ func Run(ctx context.Context, cfg Config, src Source) (*Result, error) {
 		for _, p := range pending {
 			in.Tasks = append(in.Tasks, p.task)
 		}
-		in.Quality = coop.NewSubset(asCoopModel(quality), ids)
+		in.Quality = coop.NewSubset(asCoopModel(s.quality), ids)
 		in.BuildCandidates(cfg.Index)
+		build := time.Since(buildStart)
 
 		// Solve the batch (line 6).
 		start := time.Now()
-		a, err := solver.Solve(ctx, in)
+		a, err := s.solver.Solve(ctx, in)
 		elapsed := time.Since(start)
 		if err != nil {
 			return res, fmt.Errorf("batch: round %d: %w", round, err)
@@ -356,34 +457,10 @@ func Run(ctx context.Context, cfg Config, src Source) (*Result, error) {
 			AvailableWorkers: len(pool),
 			AvailableTasks:   len(pending),
 			ValidPairs:       in.NumValidPairs(),
+			Build:            build,
 			Elapsed:          elapsed,
 		}
-		dispatchedWorker := make([]bool, len(pool))
-		dispatchedTask := make([]bool, len(pending))
-		for ti, ws := range a.TaskWorkers {
-			if len(ws) < cfg.B {
-				continue
-			}
-			task := in.Tasks[ti]
-			// All workers must arrive before cooperation starts.
-			arrival := now
-			for _, wi := range ws {
-				t := now + in.Workers[wi].Loc.Dist(task.Loc)/maxf(in.Workers[wi].Speed, 1e-9)
-				if t > arrival {
-					arrival = t
-				}
-			}
-			freeAt := arrival + cfg.ServiceDuration
-			for _, wi := range ws {
-				dispatchedWorker[wi] = true
-				busy = append(busy, busyWorker{worker: pool[wi], freeAt: freeAt, locWhen: task})
-			}
-			dispatchedTask[ti] = true
-			bs.DispatchedTasks++
-			bs.AssignedWorkers += len(ws)
-			bs.Score += in.GroupQuality(ws, task.Capacity)
-			res.TaskWaitTotal += now - task.Created
-		}
+		dispatchedWorker, dispatchedTask := s.dispatch(in, a, now, &bs, &busy, res)
 		batchUpper := assign.Upper(in)
 		res.UpperTotal += batchUpper
 
@@ -416,49 +493,255 @@ func Run(ctx context.Context, cfg Config, src Source) (*Result, error) {
 		res.Batches = append(res.Batches, bs)
 		res.TotalScore += bs.Score
 		res.DispatchedTasks += bs.DispatchedTasks
+		prevVP = bs.ValidPairs
 
-		if em != nil {
-			em.rounds.Inc()
-			em.dispTasks.Add(uint64(bs.DispatchedTasks))
-			em.dispPairs.Add(uint64(bs.AssignedWorkers))
-			em.expired.Add(uint64(res.ExpiredTasks - expiredBefore))
-			em.departed.Add(uint64(res.DepartedWorkers - departedBefore))
-			em.roundScore.Observe(bs.Score)
-			em.pending.Set(float64(len(pending)))
-			em.avail.Set(float64(len(pool)))
-			em.busy.Set(float64(len(busy)))
+		s.emitRound(&bs, res, expiredBefore, departedBefore, len(pending), len(pool), len(busy))
+		if err := s.traceRound(round, now, &bs, batchUpper, float64(elapsed.Microseconds())/1000, in, a); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// quiescent reports whether the round can be short-circuited given zero
+// churn: no busy worker frees, no pending task expires, and every time
+// gate (worker arrival, task creation) had already passed at prevNow, the
+// timestamp the previous zero-valid-pair verdict was computed at.
+func quiescent(pool []model.Worker, pending []pendingTask, busy []busyWorker, now, prevNow float64) bool {
+	for _, b := range busy {
+		if b.freeAt <= now {
+			return false
+		}
+	}
+	for _, p := range pending {
+		if p.task.Deadline <= now || p.task.Created > prevNow {
+			return false
+		}
+	}
+	for _, w := range pool {
+		if w.Arrive > prevNow {
+			return false
+		}
+	}
+	return true
+}
+
+// dispatch applies the dispatch semantics of Algorithm 1 lines 7-8 to a
+// solved round: every group reaching B performs its task, its workers go
+// busy until all have arrived and the service completed. It fills bs and
+// res and returns the dispatched worker/task position marks.
+func (s *sim) dispatch(in *model.Instance, a *model.Assignment, now float64, bs *BatchStats, busy *[]busyWorker, res *Result) (dispatchedWorker, dispatchedTask []bool) {
+	cfg := s.cfg
+	dispatchedWorker = make([]bool, len(in.Workers))
+	dispatchedTask = make([]bool, len(in.Tasks))
+	for ti, ws := range a.TaskWorkers {
+		if len(ws) < cfg.B {
+			continue
+		}
+		task := in.Tasks[ti]
+		// All workers must arrive before cooperation starts.
+		arrival := now
+		for _, wi := range ws {
+			t := now + in.Workers[wi].Loc.Dist(task.Loc)/maxf(in.Workers[wi].Speed, 1e-9)
+			if t > arrival {
+				arrival = t
+			}
+		}
+		freeAt := arrival + cfg.ServiceDuration
+		for _, wi := range ws {
+			dispatchedWorker[wi] = true
+			*busy = append(*busy, busyWorker{worker: in.Workers[wi], freeAt: freeAt, locWhen: task})
+		}
+		dispatchedTask[ti] = true
+		bs.DispatchedTasks++
+		bs.AssignedWorkers += len(ws)
+		bs.Score += in.GroupQuality(ws, task.Capacity)
+		res.TaskWaitTotal += now - task.Created
+	}
+	return dispatchedWorker, dispatchedTask
+}
+
+// emitRound flushes the per-round metric series.
+func (s *sim) emitRound(bs *BatchStats, res *Result, expiredBefore, departedBefore, pending, avail, busy int) {
+	if s.em == nil {
+		return
+	}
+	s.em.rounds.Inc()
+	s.em.dispTasks.Add(uint64(bs.DispatchedTasks))
+	s.em.dispPairs.Add(uint64(bs.AssignedWorkers))
+	s.em.expired.Add(uint64(res.ExpiredTasks - expiredBefore))
+	s.em.departed.Add(uint64(res.DepartedWorkers - departedBefore))
+	s.em.roundScore.Observe(bs.Score)
+	s.em.pending.Set(float64(pending))
+	s.em.avail.Set(float64(avail))
+	s.em.busy.Set(float64(busy))
+}
+
+// traceRound appends one trace record; in and a may be nil for rounds that
+// were short-circuited (no pairs by construction).
+func (s *sim) traceRound(round int, now float64, bs *BatchStats, upper, elapsedMS float64, in *model.Instance, a *model.Assignment) error {
+	if s.cfg.Trace == nil {
+		return nil
+	}
+	runName := s.cfg.TraceRun
+	if runName == "" {
+		runName = s.cfg.Solver.Name()
+	}
+	rec := trace.Record{
+		Run:       runName,
+		Round:     round,
+		Time:      now,
+		Solver:    s.cfg.Solver.Name(),
+		Workers:   bs.AvailableWorkers,
+		Tasks:     bs.AvailableTasks,
+		Score:     bs.Score,
+		Upper:     upper,
+		ElapsedMS: elapsedMS,
+	}
+	if a != nil {
+		for ti, ws := range a.TaskWorkers {
+			if len(ws) < s.cfg.B {
+				continue
+			}
+			for _, wi := range ws {
+				rec.Pairs = append(rec.Pairs, model.Pair{
+					Worker: in.Workers[wi].ID,
+					Task:   in.Tasks[ti].ID,
+				})
+			}
+		}
+	}
+	return s.cfg.Trace.Append(rec)
+}
+
+// runIncremental is the persistent-engine round loop: the incremental
+// engine maintains the candidate graph and component partition across
+// rounds, re-solves only the components touched since the previous round,
+// and carries every clean component's assignment forward verbatim. Entity
+// ordering, dispatch, and accounting replicate run exactly, so for
+// deterministic solvers the two paths are bitwise interchangeable.
+func (s *sim) runIncremental(ctx context.Context) (*Result, error) {
+	cfg := s.cfg
+	eng := incremental.New(incremental.Config{
+		B:       cfg.B,
+		Carry:   true,
+		Seed:    cfg.Seed,
+		Metrics: cfg.Metrics,
+		Predict: cfg.Predict,
+	})
+	var (
+		idleFor []int // aligned with the engine's worker order
+		busy    []busyWorker
+		res     = &Result{}
+	)
+
+	for round := 0; round < cfg.Rounds; round++ {
+		if ctx.Err() != nil {
+			return res, ctx.Err()
+		}
+		now := float64(round) * cfg.Interval
+		expiredBefore, departedBefore := res.ExpiredTasks, res.DepartedWorkers
+
+		// Sources are consulted outside the timed build window, as in run.
+		newWorkers := s.src.WorkersAt(round)
+		newTasks := s.src.TasksAt(round)
+
+		// Expire tasks and re-check every candidate edge, then admit the
+		// freed workers and the arrivals in the same order run grows its
+		// pool: survivors (order preserved), frees in busy order, arrivals.
+		buildStart := time.Now()
+		res.ExpiredTasks += len(eng.BeginRound(now))
+		stillBusy := busy[:0]
+		for _, b := range busy {
+			if b.freeAt <= now {
+				w := b.worker
+				w.Loc = b.locWhen.Loc
+				w.Arrive = b.freeAt
+				eng.AddWorker(w)
+				idleFor = append(idleFor, 0)
+			} else {
+				stillBusy = append(stillBusy, b)
+			}
+		}
+		busy = stillBusy
+		for _, w := range newWorkers {
+			eng.AddWorker(w)
+			idleFor = append(idleFor, 0)
+		}
+		for _, t := range newTasks {
+			if t.Capacity < cfg.B {
+				return nil, fmt.Errorf("batch: task %d capacity %d below B=%d", t.ID, t.Capacity, cfg.B)
+			}
+			eng.AddTask(t)
 		}
 
-		if cfg.Trace != nil {
-			runName := cfg.TraceRun
-			if runName == "" {
-				runName = cfg.Solver.Name()
+		// Plan the round and attach the quality model (a fixed function of
+		// worker external IDs, which is what licenses carry and warm reuse).
+		r := eng.Plan()
+		in := r.In
+		ids := make([]int, len(in.Workers))
+		for i, w := range in.Workers {
+			ids[i] = w.ID
+		}
+		in.Quality = coop.NewSubset(asCoopModel(s.quality), ids)
+		build := time.Since(buildStart)
+
+		start := time.Now()
+		a, err := eng.Solve(ctx, s.solver)
+		elapsed := time.Since(start)
+		if err != nil {
+			return res, fmt.Errorf("batch: round %d: %w", round, err)
+		}
+		if err := a.Validate(in); err != nil {
+			return res, fmt.Errorf("batch: round %d solver produced invalid assignment: %w", round, err)
+		}
+
+		bs := BatchStats{
+			Round:            round,
+			Time:             now,
+			AvailableWorkers: len(in.Workers),
+			AvailableTasks:   len(in.Tasks),
+			ValidPairs:       in.NumValidPairs(),
+			Build:            build,
+			Elapsed:          elapsed,
+		}
+		dispatchedWorker, dispatchedTask := s.dispatch(in, a, now, &bs, &busy, res)
+		batchUpper := assign.Upper(in)
+		res.UpperTotal += batchUpper
+
+		// Dispatched workers leave the pool; the rest age and may depart.
+		// The removal order (ascending positions) matches the engine's
+		// order-preserving compaction, keeping idleFor aligned.
+		var removeW, removeT []int
+		var nextIdle []int
+		for i := range in.Workers {
+			if dispatchedWorker[i] {
+				removeW = append(removeW, i)
+				continue
 			}
-			rec := trace.Record{
-				Run:       runName,
-				Round:     round,
-				Time:      now,
-				Solver:    cfg.Solver.Name(),
-				Workers:   bs.AvailableWorkers,
-				Tasks:     bs.AvailableTasks,
-				Score:     bs.Score,
-				Upper:     batchUpper,
-				ElapsedMS: float64(elapsed.Microseconds()) / 1000,
+			idle := idleFor[i] + 1
+			if cfg.Patience > 0 && idle >= cfg.Patience {
+				res.DepartedWorkers++
+				removeW = append(removeW, i)
+				continue
 			}
-			for ti, ws := range a.TaskWorkers {
-				if len(ws) < cfg.B {
-					continue
-				}
-				for _, wi := range ws {
-					rec.Pairs = append(rec.Pairs, model.Pair{
-						Worker: in.Workers[wi].ID,
-						Task:   in.Tasks[ti].ID,
-					})
-				}
+			nextIdle = append(nextIdle, idle)
+		}
+		idleFor = nextIdle
+		for i := range in.Tasks {
+			if dispatchedTask[i] {
+				removeT = append(removeT, i)
 			}
-			if err := cfg.Trace.Append(rec); err != nil {
-				return res, err
-			}
+		}
+		eng.Commit(a, removeW, removeT)
+
+		res.Batches = append(res.Batches, bs)
+		res.TotalScore += bs.Score
+		res.DispatchedTasks += bs.DispatchedTasks
+
+		s.emitRound(&bs, res, expiredBefore, departedBefore, eng.NumTasks(), eng.NumWorkers(), len(busy))
+		if err := s.traceRound(round, now, &bs, batchUpper, float64(elapsed.Microseconds())/1000, in, a); err != nil {
+			return res, err
 		}
 	}
 	return res, nil

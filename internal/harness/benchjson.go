@@ -45,8 +45,12 @@ type BenchFile struct {
 	// BudgetMS records the per-solve ladder budget in milliseconds (0:
 	// unbudgeted), so score-vs-budget sweeps are distinguishable in the
 	// perf trajectory.
-	BudgetMS float64      `json:"budget_ms,omitempty"`
-	Entries  []BenchEntry `json:"entries"`
+	BudgetMS float64 `json:"budget_ms,omitempty"`
+	// Incremental records an engine-only run (Options.Incremental): its
+	// files lack the from-scratch baseline entries and must not be diffed
+	// against dual-mode baselines.
+	Incremental bool         `json:"incremental,omitempty"`
+	Entries     []BenchEntry `json:"entries"`
 }
 
 // quantile returns the q-quantile of the samples by linear interpolation
@@ -110,16 +114,17 @@ func (s *Series) BenchEntries() []BenchEntry {
 func (s *Series) BenchFile(opt Options) *BenchFile {
 	opt = opt.withDefaults()
 	return &BenchFile{
-		Experiment: s.Experiment,
-		Figure:     s.Figure,
-		XLabel:     s.XLabel,
-		Rounds:     opt.Rounds,
-		Seed:       opt.Seed,
-		Scale:      opt.Scale,
-		Parallel:   opt.Parallel,
-		Workers:    opt.Workers,
-		BudgetMS:   float64(opt.Budget) / float64(time.Millisecond),
-		Entries:    s.BenchEntries(),
+		Experiment:  s.Experiment,
+		Figure:      s.Figure,
+		XLabel:      s.XLabel,
+		Rounds:      opt.Rounds,
+		Seed:        opt.Seed,
+		Scale:       opt.Scale,
+		Parallel:    opt.Parallel,
+		Workers:     opt.Workers,
+		BudgetMS:    float64(opt.Budget) / float64(time.Millisecond),
+		Incremental: opt.Incremental,
+		Entries:     s.BenchEntries(),
 	}
 }
 
@@ -168,7 +173,8 @@ func (b *BenchFile) DiffAgainst(base *BenchFile) error {
 		fail("experiment %q != baseline %q", b.Experiment, base.Experiment)
 	}
 	if b.Rounds != base.Rounds || b.Seed != base.Seed || b.Scale != base.Scale ||
-		b.Parallel != base.Parallel || b.BudgetMS != base.BudgetMS {
+		b.Parallel != base.Parallel || b.BudgetMS != base.BudgetMS ||
+		b.Incremental != base.Incremental {
 		fail("run config (rounds=%d seed=%d scale=%v parallel=%v budget=%vms) != baseline (rounds=%d seed=%d scale=%v parallel=%v budget=%vms); regenerate the baseline or fix the flags",
 			b.Rounds, b.Seed, b.Scale, b.Parallel, b.BudgetMS,
 			base.Rounds, base.Seed, base.Scale, base.Parallel, base.BudgetMS)

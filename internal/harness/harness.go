@@ -80,6 +80,10 @@ type Options struct {
 	// experiment measures what each approach delivers *within* the budget
 	// rather than letting slow solvers run unboundedly.
 	Budget time.Duration
+	// Incremental makes the round-based experiments (ExpIncremental) run
+	// only the persistent-engine mode, skipping the from-scratch baseline
+	// and its bitwise comparison — an engine-only timing run.
+	Incremental bool
 }
 
 // parallelize wraps s in the decomposing decorator when Parallel is set;
@@ -178,7 +182,7 @@ func AllExperiments() []string {
 
 // ExtraExperiments lists experiments beyond the paper's figures.
 func ExtraExperiments() []string {
-	return []string{ExpDistribution, ExpOptGap, ExpAnytime, ExpSources}
+	return []string{ExpDistribution, ExpOptGap, ExpAnytime, ExpSources, ExpIncremental}
 }
 
 // Run executes the named experiment.
@@ -201,6 +205,8 @@ func Run(ctx context.Context, name string, opt Options) (*Series, error) {
 		return runSources(ctx, opt)
 	case ExpShards:
 		return runShards(ctx, opt)
+	case ExpIncremental:
+		return runIncremental(ctx, opt)
 	default:
 		return nil, fmt.Errorf("harness: unknown experiment %q (have %v)", name, AllExperiments())
 	}

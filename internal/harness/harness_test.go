@@ -153,7 +153,7 @@ func TestDistributionExperiment(t *testing.T) {
 			t.Errorf("bad TPG score at %s: %v, %v", pt.Label, tpg, ok)
 		}
 	}
-	if got := ExtraExperiments(); len(got) != 4 || got[3] != ExpSources {
+	if got := ExtraExperiments(); len(got) != 5 || got[4] != ExpIncremental {
 		t.Errorf("ExtraExperiments = %v", got)
 	}
 }

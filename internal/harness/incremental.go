@@ -1,0 +1,144 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"casc/internal/assign"
+	"casc/internal/batch"
+	"casc/internal/coop"
+	"casc/internal/workload"
+)
+
+// ExpIncremental is the incremental-engine benchmark: the churn workload
+// (workload.NewChurn — a grid of isolated sites where only a small active
+// subset changes between rounds) simulated through batch.Run twice per
+// sweep point, once rebuilding and re-solving every round from scratch and
+// once through the persistent engine of internal/incremental. The run
+// verifies the two modes' round scores are bitwise identical before
+// reporting, so the committed BENCH_incremental.json documents both the
+// speedup and the equivalence. With Options.Incremental set, the
+// from-scratch baseline (and the comparison) is skipped — an engine-only
+// timing run.
+const ExpIncremental = "incremental"
+
+// ChurnGridSizes is the sweep: sites per axis of the churn grid. The
+// band is deliberate: below 24 the stuck population is small enough that
+// the engine's per-round graph upkeep rivals what carrying saves, and
+// past about 36 that upkeep — BeginRound touches every live edge —
+// erodes the carried savings again. Either side sinks the speedup
+// toward the noise floor.
+var ChurnGridSizes = []int{24, 28, 32}
+
+// churnMode labels the two entries of each sweep point.
+const (
+	churnScratch     = "scratch"
+	churnIncremental = "incremental"
+)
+
+// runIncremental drives the churn workload through both round paths.
+func runIncremental(ctx context.Context, opt Options) (*Series, error) {
+	series := &Series{Experiment: ExpIncremental, Figure: "Engine bench", XLabel: "workers m"}
+	for _, g := range ChurnGridSizes {
+		gs := opt.scaled(g)
+		if gs < 2 {
+			gs = 2
+		}
+		churn := workload.NewChurn(workload.ChurnParams{GridSize: gs, Seed: opt.Seed})
+		pt := Point{Label: fmt.Sprintf("%d", churn.MaxWorkers(opt.Rounds))}
+		var scratch, incr *batch.Result
+		var err error
+		if !opt.Incremental {
+			var res SolverResult
+			scratch, res, err = runChurn(ctx, opt, churn, false)
+			if err != nil {
+				return series, err
+			}
+			pt.Results = append(pt.Results, res)
+		}
+		var res SolverResult
+		incr, res, err = runChurn(ctx, opt, churn, true)
+		if err != nil {
+			return series, err
+		}
+		pt.Results = append(pt.Results, res)
+		pt.Upper = incr.UpperTotal
+		if scratch != nil {
+			if math.Float64bits(scratch.TotalScore) != math.Float64bits(incr.TotalScore) ||
+				math.Float64bits(scratch.UpperTotal) != math.Float64bits(incr.UpperTotal) {
+				return series, fmt.Errorf("harness: grid %d: incremental total score %v/upper %v diverge from scratch %v/%v — engine equivalence broken",
+					gs, incr.TotalScore, incr.UpperTotal, scratch.TotalScore, scratch.UpperTotal)
+			}
+			for i := range scratch.Batches {
+				if math.Float64bits(scratch.Batches[i].Score) != math.Float64bits(incr.Batches[i].Score) {
+					return series, fmt.Errorf("harness: grid %d round %d: incremental score %v diverges from scratch %v",
+						gs, i, incr.Batches[i].Score, scratch.Batches[i].Score)
+				}
+			}
+		}
+		series.Points = append(series.Points, pt)
+		if opt.Progress != nil {
+			fmt.Fprintf(opt.Progress, "point m=%s done\n", pt.Label)
+		}
+	}
+	return series, nil
+}
+
+// runChurn runs one batch simulation over the churn workload; each round's
+// elapsed time is one latency sample.
+func runChurn(ctx context.Context, opt Options, churn *workload.Churn, incremental bool) (*batch.Result, SolverResult, error) {
+	name := churnScratch
+	if incremental {
+		name = churnIncremental
+	}
+	res := SolverResult{Name: name}
+	// GT is the representative solver (the paper's primary); restricting
+	// the run to exactly one solver via -solvers overrides it.
+	solverName := "GT"
+	if len(opt.Solvers) == 1 {
+		solverName = opt.Solvers[0]
+	}
+	solver, err := assign.ByName(solverName, opt.Seed)
+	if err != nil {
+		return nil, res, err
+	}
+	src := &batch.GeneratorSource{
+		WorkersFn: churn.WorkersAt,
+		TasksFn:   churn.TasksAt,
+		Model:     coop.Synthetic{N: churn.MaxWorkers(opt.Rounds), Seed: uint64(opt.Seed)},
+	}
+	cfg := batch.Config{
+		Solver:      solver,
+		Rounds:      opt.Rounds,
+		B:           churn.B(),
+		Seed:        opt.Seed,
+		Metrics:     opt.Metrics,
+		RoundBudget: opt.Budget,
+		Incremental: incremental,
+	}
+	r, err := batch.Run(ctx, cfg, src)
+	if err != nil {
+		return nil, res, fmt.Errorf("harness: churn %s: %w", name, err)
+	}
+	warm := 0
+	if len(r.Batches) > 1 {
+		warm = 1
+	}
+	for bi, b := range r.Batches {
+		// Round latency is the full pipeline: graph maintenance (candidate
+		// building and partitioning, or the engine's BeginRound/Add/Plan)
+		// plus the solve. Round 0 is the cold start — both modes build and
+		// solve the full initial population from scratch, which is exactly
+		// the work the engine exists to avoid repeating — so it warms up the
+		// run and is excluded from the latency samples.
+		elapsed := (b.Build + b.Elapsed).Seconds()
+		res.Score += b.Score
+		if bi == 0 && warm == 1 {
+			continue
+		}
+		res.BatchSeconds += elapsed / float64(len(r.Batches)-warm)
+		res.LatencySeconds = append(res.LatencySeconds, elapsed)
+	}
+	return r, res, nil
+}

@@ -1,0 +1,210 @@
+package incremental_test
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"testing"
+
+	"casc/internal/assign"
+	"casc/internal/coop"
+	"casc/internal/geo"
+	"casc/internal/incremental"
+	"casc/internal/model"
+	"casc/internal/stats"
+)
+
+// FuzzIncrementalDirtySet drives the engine through a script of random
+// churn (arrivals with future time gates, expiries, removals) and checks
+// the three pillars of the engine contract against a from-scratch oracle
+// every round:
+//
+//  1. the maintained candidate graph equals BuildCandidates on a fresh
+//     instance of the same population,
+//  2. the engine's assignment is bitwise identical to solving that fresh
+//     instance directly (dirty-set completeness: a missed dirty component
+//     would carry a stale assignment and diverge), and
+//  3. every component carried as clean has an identical membership and
+//     edge fingerprint to the previous round (dirty-set soundness of the
+//     carry decision, independent of whether the solver output happens to
+//     coincide).
+func FuzzIncrementalDirtySet(f *testing.F) {
+	f.Add(int64(1), []byte{3, 5, 2, 9, 1, 4, 7, 0, 6, 2})
+	f.Add(int64(7), []byte{8, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11})
+	f.Add(int64(42), []byte{2, 2, 2, 2, 16, 16, 1, 3})
+	f.Add(int64(99), []byte{12, 1, 1, 9, 9, 9, 0, 0, 4})
+	f.Fuzz(func(t *testing.T, seed int64, script []byte) {
+		if len(script) == 0 {
+			t.Skip("empty script")
+		}
+		const B = 2
+		eng := incremental.New(incremental.Config{B: B, Carry: true, Seed: seed})
+		base := coop.Synthetic{N: 4096, Seed: uint64(seed) + 1}
+		rng := stats.NewRNG(seed)
+		solver := assign.NewTPG()
+		ctx := context.Background()
+
+		pos := 0
+		next := func() int { b := int(script[pos%len(script)]); pos++; return b }
+		nextW, nextT := 0, 0
+		prevFP := map[string]string{}
+
+		rounds := 3 + next()%6
+		for round := 0; round < rounds; round++ {
+			now := float64(round)
+			eng.BeginRound(now)
+
+			for i, nw := 0, next()%5; i < nw && nextW < 4000; i++ {
+				eng.AddWorker(model.Worker{
+					ID:  nextW,
+					Loc: geo.Pt(rng.Float64(), rng.Float64()),
+					// Radii large enough that components overlap and merge.
+					Speed:  0.05 + rng.Float64()*0.1,
+					Radius: 0.05 + rng.Float64()*0.2,
+					// Future arrivals exercise the time-gate flips.
+					Arrive: now + float64(next()%3) - 1,
+				})
+				nextW++
+			}
+			for i, nt := 0, next()%5; i < nt; i++ {
+				eng.AddTask(model.Task{
+					ID:       nextT,
+					Loc:      geo.Pt(rng.Float64(), rng.Float64()),
+					Capacity: B + next()%3,
+					Created:  now + float64(next()%2),
+					Deadline: now + 0.5 + float64(next()%4),
+				})
+				nextT++
+			}
+
+			r := eng.Plan()
+			in := r.In
+			ids := make([]int, len(in.Workers))
+			for i, w := range in.Workers {
+				ids[i] = w.ID
+			}
+			in.Quality = coop.NewSubset(base, ids)
+
+			// Oracle 1: candidate graph equals a fresh build.
+			fresh := &model.Instance{B: B, Now: now}
+			fresh.Workers = append([]model.Worker(nil), in.Workers...)
+			fresh.Tasks = append([]model.Task(nil), in.Tasks...)
+			fresh.Quality = in.Quality
+			fresh.BuildCandidates(model.IndexRTree)
+			if err := candEqual(in.WorkerCand, fresh.WorkerCand); err != nil {
+				t.Fatalf("round %d: WorkerCand diverges from fresh build: %v", round, err)
+			}
+			if err := candEqual(in.TaskCand, fresh.TaskCand); err != nil {
+				t.Fatalf("round %d: TaskCand diverges from fresh build: %v", round, err)
+			}
+
+			// Oracle 2: bitwise solve equivalence against the fresh instance.
+			a, err := eng.Solve(ctx, solver)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := solver.Solve(ctx, fresh)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := a.Validate(in); err != nil {
+				t.Fatalf("round %d: invalid engine assignment: %v", round, err)
+			}
+			gotPairs, wantPairs := a.Pairs(), want.Pairs()
+			if len(gotPairs) != len(wantPairs) {
+				t.Fatalf("round %d: %d pairs != fresh %d\nengine %v (score %v)\nfresh  %v (score %v)\ndirty %v",
+					round, len(gotPairs), len(wantPairs), gotPairs, a.TotalScore(in), wantPairs, want.TotalScore(fresh), r.Dirty)
+			}
+			for i := range gotPairs {
+				if gotPairs[i] != wantPairs[i] {
+					t.Fatalf("round %d: pair %d: %+v != fresh %+v", round, i, gotPairs[i], wantPairs[i])
+				}
+			}
+			if g, w := a.TotalScore(in), want.TotalScore(fresh); math.Float64bits(g) != math.Float64bits(w) {
+				t.Fatalf("round %d: score %v != fresh %v", round, g, w)
+			}
+
+			// Oracle 3: components carried clean must be fingerprint-stable.
+			curFP := make(map[string]string, len(r.Comps))
+			for ci, c := range r.Comps {
+				key, full := fingerprint(in, c.Workers, c.Tasks)
+				curFP[key] = full
+				if r.Dirty[ci] {
+					continue
+				}
+				prev, ok := prevFP[key]
+				if !ok {
+					t.Fatalf("round %d: component %s carried clean but did not exist last round", round, key)
+				}
+				if prev != full {
+					t.Fatalf("round %d: component %s carried clean but changed:\nprev %s\nnow  %s", round, key, prev, full)
+				}
+			}
+			prevFP = curFP
+
+			// Random removals (ascending instance positions).
+			var remW, remT []int
+			for i := range in.Workers {
+				if next()%7 == 0 {
+					remW = append(remW, i)
+				}
+			}
+			for j := range in.Tasks {
+				if next()%5 == 0 {
+					remT = append(remT, j)
+				}
+			}
+			eng.Commit(a, remW, remT)
+		}
+	})
+}
+
+// candEqual compares candidate lists treating nil and empty as equal.
+func candEqual(got, want [][]int) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("len %d != %d", len(got), len(want))
+	}
+	for i := range got {
+		if len(got[i]) != len(want[i]) {
+			return fmt.Errorf("entry %d: len %d != %d (%v vs %v)", i, len(got[i]), len(want[i]), got[i], want[i])
+		}
+		for k := range got[i] {
+			if got[i][k] != want[i][k] {
+				return fmt.Errorf("entry %d[%d]: %d != %d", i, k, got[i][k], want[i][k])
+			}
+		}
+	}
+	return nil
+}
+
+// fingerprint renders a component by external IDs: the key identifies the
+// component by its sorted worker-ID set, the full form captures exact
+// member order, task attributes, and the candidate edges.
+func fingerprint(in *model.Instance, workers, tasks []int) (key, full string) {
+	wids := make([]int, len(workers))
+	for i, w := range workers {
+		wids[i] = in.Workers[w].ID
+	}
+	sorted := append([]int(nil), wids...)
+	sort.Ints(sorted)
+	var kb strings.Builder
+	for _, id := range sorted {
+		fmt.Fprintf(&kb, "w%d,", id)
+	}
+
+	var fb strings.Builder
+	for _, w := range workers {
+		fmt.Fprintf(&fb, "w%d;", in.Workers[w].ID)
+	}
+	for _, tj := range tasks {
+		tk := in.Tasks[tj]
+		fmt.Fprintf(&fb, "t%d(cap%d,d%g):", tk.ID, tk.Capacity, tk.Deadline)
+		for _, wi := range in.TaskCand[tj] {
+			fmt.Fprintf(&fb, "w%d,", in.Workers[wi].ID)
+		}
+		fb.WriteByte(';')
+	}
+	return kb.String(), fb.String()
+}

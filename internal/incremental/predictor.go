@@ -1,0 +1,133 @@
+package incremental
+
+import (
+	"math"
+
+	"casc/internal/geo"
+)
+
+// PredictConfig tunes the arrival predictor. The predictor is a pure
+// performance device: pre-built lists are supersets filtered through the
+// exact validity predicate, so enabling it never changes any result.
+type PredictConfig struct {
+	// Cells is the predictor grid resolution per axis over the unit square;
+	// 0 disables the predictor.
+	Cells int
+	// Alpha is the EWMA smoothing factor applied to per-round task-arrival
+	// counts per cell (0 < Alpha ≤ 1; 0 defaults to 0.3).
+	Alpha float64
+	// Threshold is the smoothed arrivals-per-round level at which a cell is
+	// considered hot and gets a pre-built worker list (0 defaults to 0.5).
+	Threshold float64
+}
+
+// predictor forecasts where the next round's tasks will arrive (a seeded
+// EWMA over per-grid-cell arrival counts) and pre-builds, for each hot
+// cell, the superset of workers whose working area can intersect the cell.
+// A task arriving in a warm cell then filters that list through the exact
+// validity predicate instead of running a spatial query.
+//
+// Soundness of the superset: a worker w can serve a task t in cell c only
+// if d(w, t) ≤ w.Radius, hence d(w, center(c)) ≤ w.Radius + halfDiag ≤
+// maxRadius + halfDiag. Lists are built with that radius; workers added
+// later invalidate every cell they could ever serve (using their own
+// radius, which also covers maxRadius growth), and removed workers are
+// skipped at use time by the engine's liveness lookup.
+type predictor struct {
+	cells     int
+	alpha     float64
+	threshold float64
+	halfDiag  float64
+
+	counts []int     // this round's task arrivals per cell
+	ewma   []float64 // smoothed arrivals per round per cell
+	lists  [][]int   // per cell: pre-built worker uid superset; nil = cold
+	listR  []float64 // query radius each list was built with
+}
+
+func newPredictor(cfg PredictConfig) *predictor {
+	if cfg.Cells <= 0 {
+		return nil
+	}
+	alpha := cfg.Alpha
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.3
+	}
+	threshold := cfg.Threshold
+	if threshold <= 0 {
+		threshold = 0.5
+	}
+	n := cfg.Cells * cfg.Cells
+	return &predictor{
+		cells:     cfg.Cells,
+		alpha:     alpha,
+		threshold: threshold,
+		halfDiag:  math.Sqrt2 / (2 * float64(cfg.Cells)),
+		counts:    make([]int, n),
+		ewma:      make([]float64, n),
+		lists:     make([][]int, n),
+		listR:     make([]float64, n),
+	}
+}
+
+// cellOf maps a point to its cell index, clamping to the unit square.
+func (p *predictor) cellOf(pt geo.Point) int {
+	clamp := func(v float64) int {
+		i := int(v * float64(p.cells))
+		if i < 0 {
+			return 0
+		}
+		if i >= p.cells {
+			return p.cells - 1
+		}
+		return i
+	}
+	return clamp(pt.Y)*p.cells + clamp(pt.X)
+}
+
+// center returns the center point of cell c.
+func (p *predictor) center(c int) geo.Point {
+	step := 1 / float64(p.cells)
+	return geo.Pt((float64(c%p.cells)+0.5)*step, (float64(c/p.cells)+0.5)*step)
+}
+
+// observeArrival records a task arrival for this round's cell counts.
+func (p *predictor) observeArrival(pt geo.Point) { p.counts[p.cellOf(pt)]++ }
+
+// roll folds this round's counts into the EWMA and resets them, then
+// rebuilds the worker list of every hot cold cell through query (a grid
+// search by center and radius). Called once per round after expiry.
+func (p *predictor) roll(maxRadius float64, query func(c geo.Point, rad float64, dst []int) []int) {
+	for c := range p.counts {
+		p.ewma[c] = p.alpha*float64(p.counts[c]) + (1-p.alpha)*p.ewma[c]
+		p.counts[c] = 0
+		if p.ewma[c] >= p.threshold && p.lists[c] == nil {
+			r := maxRadius + p.halfDiag
+			p.lists[c] = query(p.center(c), r, p.lists[c][:0])
+			p.listR[c] = r
+		}
+	}
+}
+
+// list returns the pre-built worker superset for the cell containing pt,
+// or nil when the cell is cold or invalidated.
+func (p *predictor) list(pt geo.Point) []int { return p.lists[p.cellOf(pt)] }
+
+// workerAdded invalidates every cell list the new worker could belong to:
+// cells whose build query would have found it, and cells whose tasks it
+// could serve even beyond the build-time radius (its own radius covers
+// maxRadius growth since the build).
+func (p *predictor) workerAdded(pt geo.Point, radius float64) {
+	for c := range p.lists {
+		if p.lists[c] == nil {
+			continue
+		}
+		reach := p.listR[c]
+		if r := radius + p.halfDiag; r > reach {
+			reach = r
+		}
+		if pt.Dist(p.center(c)) <= reach {
+			p.lists[c] = nil
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package model
+
+// CandidateBuffers holds reusable candidate-list storage for callers that
+// rebuild an Instance's WorkerCand/TaskCand every round from maintained
+// adjacency (the incremental batch engine). Across rounds both the [][]int
+// headers and the inner slices keep their capacity, so a steady-state
+// rebuild allocates nothing.
+//
+// The filling contract mirrors BuildCandidates exactly: the caller appends
+// ascending task positions to WorkerCand[i] for each worker position i, then
+// calls DeriveTaskCand, then Install. The only observable difference from
+// BuildCandidates is that empty lists are zero-length slices rather than
+// nil, which no consumer distinguishes (solvers, NumValidPairs, partition,
+// and SubInstance all go through len).
+type CandidateBuffers struct {
+	WorkerCand [][]int
+	TaskCand   [][]int
+}
+
+// Reset prepares the buffers for nW workers and nT tasks with every list
+// empty, reusing prior capacity.
+func (b *CandidateBuffers) Reset(nW, nT int) {
+	b.WorkerCand = resetLists(b.WorkerCand, nW)
+	b.TaskCand = resetLists(b.TaskCand, nT)
+}
+
+// DeriveTaskCand fills TaskCand from the filled WorkerCand lists by the same
+// worker-major pass BuildCandidates uses: TaskCand[j] collects worker
+// positions in ascending worker order, so the lists come out ascending
+// without a sort.
+func (b *CandidateBuffers) DeriveTaskCand() {
+	for i := range b.TaskCand {
+		b.TaskCand[i] = b.TaskCand[i][:0]
+	}
+	for w, cand := range b.WorkerCand {
+		for _, j := range cand {
+			b.TaskCand[j] = append(b.TaskCand[j], w)
+		}
+	}
+}
+
+// Install points in at the buffers. The instance borrows the storage: it is
+// valid until the next Reset, which is the per-round cadence the buffers
+// exist for.
+func (b *CandidateBuffers) Install(in *Instance) {
+	in.WorkerCand = b.WorkerCand
+	in.TaskCand = b.TaskCand
+}
+
+// resetLists resizes s to n headers, emptying survivors and reusing
+// capacity everywhere. The result is non-nil even at n == 0: partition's
+// Build distinguishes "built, empty" from "never built" by nilness.
+func resetLists(s [][]int, n int) [][]int {
+	if cap(s) < n || s == nil {
+		grown := make([][]int, n)
+		copy(grown, s)
+		s = grown
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = s[i][:0]
+	}
+	return s
+}

@@ -1,0 +1,164 @@
+package partition
+
+import "sort"
+
+// Builder computes connected components repeatedly while reusing all of its
+// scratch memory: the union-find forest, the root→component table, the
+// member arenas, and the component headers themselves. The incremental batch
+// engine partitions a slowly-changing instance every round; with a Builder
+// the steady-state cost is the union-find scans alone, with zero per-round
+// allocations once the arenas have grown to the working-set size.
+//
+// Build returns exactly what Components returns — same membership, same
+// ascending member order, same largest-Size-first / lowest-Key ordering —
+// but the returned slice and the Workers/Tasks slices inside it alias the
+// Builder's arenas and are only valid until the next Build call. Callers
+// that need the result to outlive the next round must copy it.
+type Builder struct {
+	uf       unionFind
+	rootComp []int // node root -> component index, -1 when unseen
+	countW   []int // per-component worker counts (then fill cursors)
+	countT   []int // per-component task counts (then fill cursors)
+	wArena   []int
+	tArena   []int
+	comps    []Component
+}
+
+// NewBuilder returns an empty Builder. The zero value is also usable.
+func NewBuilder() *Builder { return &Builder{} }
+
+// Build computes the components of in's validity graph. See the type
+// comment for the aliasing contract; everything else matches Components.
+func (b *Builder) Build(in componentSource) []Component {
+	workerCand, taskCand := in.candidates()
+	if workerCand == nil {
+		panic("partition: Build before BuildCandidates")
+	}
+	nW, nT := len(workerCand), len(taskCand)
+	b.uf.reset(nW + nT)
+	pairs := 0
+	for w, cand := range workerCand {
+		for _, t := range cand {
+			b.uf.union(w, nW+t)
+			pairs++
+		}
+	}
+	if pairs == 0 {
+		return nil
+	}
+
+	b.rootComp = resetInts(b.rootComp, nW+nT, -1)
+	nComp := 0
+	compOf := func(node int) int {
+		root := b.uf.find(node)
+		ci := b.rootComp[root]
+		if ci < 0 {
+			ci = nComp
+			nComp++
+			b.rootComp[root] = ci
+		}
+		return ci
+	}
+	// Counting passes. Ascending scan order is what keeps each component's
+	// Workers/Tasks ascending in the fill passes below, which SubInstance
+	// and the tie-break equivalence arguments rely on.
+	b.comps = b.comps[:0]
+	for w := 0; w < nW; w++ {
+		if len(workerCand[w]) == 0 {
+			continue
+		}
+		ci := compOf(w)
+		b.comps = growComps(b.comps, ci+1)
+		b.comps[ci].Pairs += len(workerCand[w])
+	}
+	b.countW = resetInts(b.countW, nComp, 0)
+	b.countT = resetInts(b.countT, nComp, 0)
+	for w := 0; w < nW; w++ {
+		if len(workerCand[w]) == 0 {
+			continue
+		}
+		b.countW[b.rootComp[b.uf.find(w)]]++
+	}
+	for t := 0; t < nT; t++ {
+		if len(taskCand[t]) == 0 {
+			continue
+		}
+		b.countT[b.rootComp[b.uf.find(nW+t)]]++
+	}
+
+	// Carve per-component member slices out of the shared arenas, full
+	// length up front, then fill through per-component cursors.
+	b.wArena = resetInts(b.wArena, nW, 0)
+	b.tArena = resetInts(b.tArena, nT, 0)
+	offW, offT := 0, 0
+	for ci := 0; ci < nComp; ci++ {
+		cw, ct := b.countW[ci], b.countT[ci]
+		b.comps[ci].Workers = b.wArena[offW : offW+cw : offW+cw]
+		b.comps[ci].Tasks = b.tArena[offT : offT+ct : offT+ct]
+		offW += cw
+		offT += ct
+		b.countW[ci] = 0 // reuse as fill cursor
+		b.countT[ci] = 0
+	}
+	for w := 0; w < nW; w++ {
+		if len(workerCand[w]) == 0 {
+			continue
+		}
+		ci := b.rootComp[b.uf.find(w)]
+		b.comps[ci].Workers[b.countW[ci]] = w
+		b.countW[ci]++
+	}
+	for t := 0; t < nT; t++ {
+		if len(taskCand[t]) == 0 {
+			continue
+		}
+		ci := b.rootComp[b.uf.find(nW+t)]
+		b.comps[ci].Tasks[b.countT[ci]] = t
+		b.countT[ci]++
+	}
+
+	sort.Slice(b.comps, func(i, j int) bool {
+		if b.comps[i].Size() != b.comps[j].Size() {
+			return b.comps[i].Size() > b.comps[j].Size()
+		}
+		return b.comps[i].Key() < b.comps[j].Key()
+	})
+	return b.comps
+}
+
+// componentSource abstracts the candidate lists Build partitions over, so
+// the incremental engine can hand its maintained adjacency to the same code
+// path a model.Instance uses.
+type componentSource interface {
+	candidates() (workerCand, taskCand [][]int)
+}
+
+// Adjacency is a plain candidate-list pair implementing the Build input; the
+// incremental engine hands its maintained lists through one of these.
+type Adjacency struct {
+	WorkerCand [][]int
+	TaskCand   [][]int
+}
+
+func (a Adjacency) candidates() ([][]int, [][]int) { return a.WorkerCand, a.TaskCand }
+
+// resetInts returns s resized to n with every element set to v, reusing the
+// backing array when it is large enough.
+func resetInts(s []int, n, v int) []int {
+	if cap(s) < n {
+		s = make([]int, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = v
+	}
+	return s
+}
+
+// growComps extends comps to length n with zero components.
+func growComps(comps []Component, n int) []Component {
+	for len(comps) < n {
+		comps = append(comps, Component{})
+	}
+	return comps
+}

@@ -7,8 +7,6 @@
 package partition
 
 import (
-	"sort"
-
 	"casc/internal/model"
 )
 
@@ -41,57 +39,9 @@ func Components(in *model.Instance) []Component {
 	if in.WorkerCand == nil {
 		panic("partition: Components before BuildCandidates")
 	}
-	nW, nT := len(in.Workers), len(in.Tasks)
-	// Node layout: workers [0,nW), tasks [nW,nW+nT).
-	uf := newUnionFind(nW + nT)
-	pairs := 0
-	for w, cand := range in.WorkerCand {
-		for _, t := range cand {
-			uf.union(w, nW+t)
-			pairs++
-		}
-	}
-	if pairs == 0 {
-		return nil
-	}
-	byRoot := make(map[int]*Component)
-	comp := func(node int) *Component {
-		root := uf.find(node)
-		c := byRoot[root]
-		if c == nil {
-			c = &Component{}
-			byRoot[root] = c
-		}
-		return c
-	}
-	// Ascending scan order keeps each component's Workers/Tasks ascending
-	// without a sort, which is what SubInstance and the tie-break
-	// equivalence arguments rely on.
-	for w := 0; w < nW; w++ {
-		if len(in.WorkerCand[w]) == 0 {
-			continue
-		}
-		c := comp(w)
-		c.Workers = append(c.Workers, w)
-		c.Pairs += len(in.WorkerCand[w])
-	}
-	for t := 0; t < nT; t++ {
-		if len(in.TaskCand[t]) == 0 {
-			continue
-		}
-		comp(nW + t).Tasks = append(comp(nW+t).Tasks, t)
-	}
-	out := make([]Component, 0, len(byRoot))
-	for _, c := range byRoot {
-		out = append(out, *c)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Size() != out[j].Size() {
-			return out[i].Size() > out[j].Size()
-		}
-		return out[i].Key() < out[j].Key()
-	})
-	return out
+	// A throwaway Builder makes the arena aliasing moot; repeated callers
+	// (the incremental engine) hold a Builder and call Build directly.
+	return NewBuilder().Build(Adjacency{WorkerCand: in.WorkerCand, TaskCand: in.TaskCand})
 }
 
 // Decompose builds the sub-instance of every component along with the
@@ -109,19 +59,26 @@ func Decompose(in *model.Instance) ([]*model.Instance, []*model.SubIndex) {
 }
 
 // unionFind is a classic disjoint-set forest with union by size and path
-// halving.
+// halving, resettable in place so a Builder can reuse its backing arrays
+// across rounds. Node layout convention: workers [0,nW), tasks [nW,nW+nT).
 type unionFind struct {
 	parent []int
 	size   []int
 }
 
-func newUnionFind(n int) *unionFind {
-	uf := &unionFind{parent: make([]int, n), size: make([]int, n)}
-	for i := range uf.parent {
-		uf.parent[i] = i
-		uf.size[i] = 1
+// reset re-initializes the forest to n singleton sets, reusing the backing
+// arrays when they are large enough.
+func (u *unionFind) reset(n int) {
+	if cap(u.parent) < n {
+		u.parent = make([]int, n)
+		u.size = make([]int, n)
 	}
-	return uf
+	u.parent = u.parent[:n]
+	u.size = u.size[:n]
+	for i := range u.parent {
+		u.parent[i] = i
+		u.size[i] = 1
+	}
 }
 
 func (u *unionFind) find(x int) int {

@@ -12,6 +12,7 @@ import (
 	"casc/internal/assign"
 	"casc/internal/coop"
 	"casc/internal/geo"
+	"casc/internal/incremental"
 	"casc/internal/metrics"
 	"casc/internal/model"
 	"casc/internal/partition"
@@ -72,6 +73,12 @@ type Config struct {
 	// Chaos, when non-nil, wraps every ladder rung with seeded fault
 	// injection (requires SolveBudget > 0); used by the chaos rehearsals.
 	Chaos *resilience.ChaosConfig
+	// Incremental maintains the cluster-wide candidate graph in a
+	// persistent engine across rounds instead of rebuilding it from the
+	// shard snapshots each RunBatch. Results are bitwise identical; only
+	// the per-round graph work shrinks. Carry-forward stays off here
+	// because the cooperation history mutates between rounds.
+	Incremental bool
 }
 
 // Cluster is a K-shard CA-SC platform. All methods are safe for concurrent
@@ -97,6 +104,12 @@ type Cluster struct {
 	advance      func()
 
 	batchMu sync.Mutex // serializes RunBatch rounds
+
+	// Incremental-round state, guarded by batchMu: the persistent engine
+	// and the home shard of every entity currently inside it.
+	inc        *incremental.Engine
+	workerHome map[int]int
+	taskHome   map[int]int
 
 	metrics *metrics.Registry
 	cm      clusterMetrics
@@ -170,6 +183,14 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	}
 	for i := 0; i < cfg.K; i++ {
 		c.shards = append(c.shards, newShard(i, cfg.Alpha, cfg.Omega, reg))
+	}
+	if cfg.Incremental {
+		c.inc = incremental.New(incremental.Config{B: cfg.B, OrderByID: true, Metrics: reg})
+		c.workerHome = make(map[int]int)
+		c.taskHome = make(map[int]int)
+		for _, sh := range c.shards {
+			sh.trackPending = true
+		}
 	}
 	if c.clock == nil {
 		c.clock = func() float64 { return float64(c.rounds.Load()) }
@@ -357,27 +378,18 @@ func (c *Cluster) RunBatch(ctx context.Context, solverName string) (*BatchResult
 	nowT := c.clock()
 	res := &BatchResult{}
 
-	// Phase A: per-shard expiry + snapshot, remembering each entity's home.
-	var workers []model.Worker
-	var tasks []model.Task
-	workerHome := make(map[int]int)
-	taskHome := make(map[int]int)
-	for si, sh := range c.shards {
-		ws, ts, expired := sh.beginRound(nowT)
-		for _, w := range ws {
-			workerHome[w.ID] = si
-		}
-		for _, t := range ts {
-			taskHome[t.ID] = si
-		}
-		workers = append(workers, ws...)
-		tasks = append(tasks, ts...)
-		res.ExpiredTasks += expired
+	// Phases A+B: assemble the round's global instance and components —
+	// either rebuilt from fresh shard snapshots, or maintained across
+	// rounds by the persistent engine. Both produce the identical
+	// ID-ordered instance, so everything downstream is mode-blind.
+	var in *model.Instance
+	var comps []partition.Component
+	var workerHome, taskHome map[int]int
+	if c.inc != nil {
+		in, comps, workerHome, taskHome = c.incrementalRound(nowT, res)
+	} else {
+		in, comps, workerHome, taskHome = c.snapshotRound(nowT, res)
 	}
-	// Phase B: merge into the global instance, ordered by ID so positions
-	// (and therefore every solver tie-break) are identical for any K.
-	sort.Slice(workers, func(i, j int) bool { return workers[i].ID < workers[j].ID })
-	sort.Slice(tasks, func(i, j int) bool { return tasks[i].ID < tasks[j].ID })
 	// Snapshot the per-shard histories into one flat history for the whole
 	// round: solves then pay a single map probe per quality miss instead of
 	// K locked probes. Merging in shard order accumulates each pair's total
@@ -386,11 +398,7 @@ func (c *Cluster) RunBatch(ctx context.Context, solverName string) (*BatchResult
 	for _, sh := range c.shards {
 		hist.AddFrom(sh.history)
 	}
-	in := &model.Instance{B: c.b, Now: nowT, Quality: hist}
-	in.Workers = workers
-	in.Tasks = tasks
-	in.BuildCandidates(model.IndexRTree)
-	comps := partition.Components(in)
+	in.Quality = hist
 	res.Components = len(comps)
 
 	// Phase C: pin each component to the shard owning its lowest cell.
@@ -466,6 +474,7 @@ func (c *Cluster) RunBatch(ctx context.Context, solverName string) (*BatchResult
 	for s := range deltas {
 		deltas[s] = &roundDelta{groups: make(map[int]dispatchedGroup)}
 	}
+	var engineRemoveW, engineRemoveT []int // instance positions leaving the engine
 	for ti, ws := range a.TaskWorkers {
 		if len(ws) < c.b {
 			continue // below B: keep the task open and the workers available
@@ -473,12 +482,20 @@ func (c *Cluster) RunBatch(ctx context.Context, solverName string) (*BatchResult
 		task := in.Tasks[ti]
 		owner := c.geom.ShardOf(task.Loc)
 		grp := dispatchedGroup{loc: task.Loc}
+		if c.inc != nil {
+			engineRemoveT = append(engineRemoveT, ti)
+			engineRemoveW = append(engineRemoveW, ws...)
+			delete(c.taskHome, task.ID)
+		}
 		for _, wi := range ws {
 			w := in.Workers[wi]
 			grp.ids = append(grp.ids, w.ID)
 			grp.workers = append(grp.workers, w)
 			home := workerHome[w.ID]
 			grp.homes = append(grp.homes, home)
+			if c.inc != nil {
+				delete(c.workerHome, w.ID)
+			}
 			deltas[home].removeWorkers = append(deltas[home].removeWorkers, w.ID)
 			res.Pairs = append(res.Pairs, model.Pair{Worker: w.ID, Task: task.ID})
 		}
@@ -497,6 +514,9 @@ func (c *Cluster) RunBatch(ctx context.Context, solverName string) (*BatchResult
 		}
 		return res.Pairs[i].Worker < res.Pairs[j].Worker
 	})
+	if c.inc != nil {
+		c.inc.Commit(nil, engineRemoveW, engineRemoveT)
+	}
 	for s, sh := range c.shards {
 		sh.applyRound(deltas[s])
 	}
@@ -512,6 +532,71 @@ func (c *Cluster) RunBatch(ctx context.Context, solverName string) (*BatchResult
 		c.rounds.Add(1)
 	}
 	return res, nil
+}
+
+// snapshotRound is the from-scratch round assembly: every shard drops its
+// expired tasks and snapshots its registries, and the coordinator merges
+// the snapshots into one instance ordered by cluster-unique ID (so
+// positions, and therefore every solver tie-break, are identical for any
+// K), rebuilds candidates, and decomposes the validity graph.
+func (c *Cluster) snapshotRound(nowT float64, res *BatchResult) (*model.Instance, []partition.Component, map[int]int, map[int]int) {
+	var workers []model.Worker
+	var tasks []model.Task
+	workerHome := make(map[int]int)
+	taskHome := make(map[int]int)
+	for si, sh := range c.shards {
+		ws, ts, expired := sh.beginRound(nowT)
+		for _, w := range ws {
+			workerHome[w.ID] = si
+		}
+		for _, t := range ts {
+			taskHome[t.ID] = si
+		}
+		workers = append(workers, ws...)
+		tasks = append(tasks, ts...)
+		res.ExpiredTasks += expired
+	}
+	sort.Slice(workers, func(i, j int) bool { return workers[i].ID < workers[j].ID })
+	sort.Slice(tasks, func(i, j int) bool { return tasks[i].ID < tasks[j].ID })
+	in := &model.Instance{B: c.b, Now: nowT}
+	in.Workers = workers
+	in.Tasks = tasks
+	in.BuildCandidates(model.IndexRTree)
+	return in, partition.Components(in), workerHome, taskHome
+}
+
+// incrementalRound is the engine-backed round assembly: the persistent
+// engine expires tasks and re-validates its maintained edges, each shard's
+// queued arrivals are drained into it, and Plan assembles the same
+// ID-ordered instance and components snapshotRound would have built —
+// without touching the standing population. Shard registries are kept in
+// step so status, routing load, and the next rounds see one truth.
+func (c *Cluster) incrementalRound(nowT float64, res *BatchResult) (*model.Instance, []partition.Component, map[int]int, map[int]int) {
+	for _, id := range c.inc.BeginRound(nowT) {
+		c.shards[c.taskHome[id]].forgetTask(id)
+		delete(c.taskHome, id)
+		res.ExpiredTasks++
+	}
+	for si, sh := range c.shards {
+		ws, ts := sh.drainPending()
+		for _, w := range ws {
+			c.workerHome[w.ID] = si
+			c.inc.AddWorker(w)
+		}
+		for _, t := range ts {
+			if t.Deadline <= nowT {
+				// Expired while queued: the snapshot path would have
+				// dropped it in this round's expiry sweep too.
+				sh.forgetTask(t.ID)
+				res.ExpiredTasks++
+				continue
+			}
+			c.taskHome[t.ID] = si
+			c.inc.AddTask(t)
+		}
+	}
+	r := c.inc.Plan()
+	return r.In, r.Comps, c.workerHome, c.taskHome
 }
 
 // componentCells returns the lowest cell any of the component's entities

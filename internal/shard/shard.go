@@ -46,6 +46,13 @@ type Shard struct {
 	dispCount  int
 	totalScore float64
 
+	// trackPending, set once at cluster construction under incremental
+	// rounds, makes addWorker/addTask also queue arrivals for the next
+	// round's engine drain.
+	trackPending bool
+	pendingW     []model.Worker
+	pendingT     []model.Task
+
 	// history accumulates the ratings of tasks dispatched from this shard
 	// (Equation 1 numerators); the cluster aggregates pair statistics
 	// across all shards when estimating qualities.
@@ -123,6 +130,9 @@ func (s *Shard) syncGauges() {
 func (s *Shard) addWorker(w model.Worker) {
 	s.mu.Lock()
 	s.workers[w.ID] = w
+	if s.trackPending {
+		s.pendingW = append(s.pendingW, w)
+	}
 	s.sm.registered.Inc()
 	s.syncGauges()
 	s.mu.Unlock()
@@ -132,7 +142,29 @@ func (s *Shard) addWorker(w model.Worker) {
 func (s *Shard) addTask(t model.Task) {
 	s.mu.Lock()
 	s.tasks[t.ID] = t
+	if s.trackPending {
+		s.pendingT = append(s.pendingT, t)
+	}
 	s.sm.posted.Inc()
+	s.syncGauges()
+	s.mu.Unlock()
+}
+
+// drainPending hands the arrivals queued since the previous drain to the
+// caller (the incremental round coordinator) and resets the queues.
+func (s *Shard) drainPending() (ws []model.Worker, ts []model.Task) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ws, ts = s.pendingW, s.pendingT
+	s.pendingW, s.pendingT = nil, nil
+	return ws, ts
+}
+
+// forgetTask drops an open task that the incremental engine expired, keeping
+// the shard registry in step with the engine's population.
+func (s *Shard) forgetTask(id int) {
+	s.mu.Lock()
+	delete(s.tasks, id)
 	s.syncGauges()
 	s.mu.Unlock()
 }
