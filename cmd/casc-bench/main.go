@@ -43,7 +43,7 @@ func main() {
 // in particular) survives error exits.
 func run() error {
 	var (
-		exp      = flag.String("exp", "all", "experiment: capacity|speed|radius|deadline|epsilon|workers|tasks|distribution|optgap|anytime|sources|shards|incremental|all|extra|settings")
+		exp      = flag.String("exp", "all", "experiment: capacity|speed|radius|deadline|epsilon|workers|tasks|distribution|optgap|anytime|sources|paperscale|shards|incremental|all|extra|settings")
 		rounds   = flag.Int("rounds", workload.DefaultRounds, "rounds R per sweep point")
 		scale    = flag.Float64("scale", 1.0, "scale factor on m and n (1.0 = paper scale)")
 		seed     = flag.Int64("seed", 1, "random seed")
@@ -59,6 +59,8 @@ func run() error {
 		workers  = flag.Int("workers", 0, "component worker pool under -parallel (0: GOMAXPROCS)")
 		budget   = flag.Duration("budget", 0, "per-solve budget; overruns fall through the anytime ladder (solver → TPG → RAND → empty floor)")
 		incr     = flag.Bool("incremental", false, "engine-only timing for -exp incremental: skip the from-scratch baseline and its bitwise comparison")
+		arena    = flag.Bool("arena", false, "give each arena-capable solver a persistent scratch arena per sweep point (steady-state allocation-free solves; never changes scores)")
+		benchmem = flag.Bool("benchmem", false, "record steady-state heap allocs per solve into the bench output and JSON (gated by -diff when the baseline has them)")
 		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 	)
 	flag.Parse()
@@ -86,7 +88,7 @@ func run() error {
 	opt := harness.Options{
 		Rounds: *rounds, Seed: *seed, Scale: *scale,
 		Parallel: *parallel, Workers: *workers, Budget: *budget,
-		Incremental: *incr,
+		Incremental: *incr, Arena: *arena, Benchmem: *benchmem,
 	}
 	if *solvers != "" {
 		opt.Solvers = strings.Split(*solvers, ",")

@@ -70,6 +70,7 @@ func AllRules() []*Rule {
 		newCtxLoop(),
 		newMetricName(),
 		newDroppedErr(),
+		newHotAlloc(),
 	}
 }
 

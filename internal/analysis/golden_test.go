@@ -105,6 +105,7 @@ func TestGolden(t *testing.T) {
 		{fixture: "ctxloop", rules: []string{"ctxloop"}},
 		{fixture: "metricname", rules: []string{"metricname"}},
 		{fixture: "droppederr", rules: []string{"droppederr"}},
+		{fixture: "hotalloc", rules: []string{"hotalloc"}},
 		{fixture: "suppress", rules: []string{"droppederr"}},
 		// The shard fixture exercises the three rules whose scope covers
 		// internal/shard, in one package shaped like the sharded tier.

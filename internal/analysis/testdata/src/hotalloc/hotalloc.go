@@ -1,0 +1,90 @@
+// Package hotalloc is a casc-lint golden fixture.
+package hotalloc
+
+import "context"
+
+type item struct{ id int }
+
+func consume(...int) {}
+
+type PerIterMake struct{}
+
+// Solve allocates a scratch slice per candidate: flagged.
+func (PerIterMake) Solve(ctx context.Context, items []item) {
+	for range items {
+		buf := make([]int, 8) // want hotalloc
+		consume(buf...)
+	}
+}
+
+type Hoisted struct{}
+
+// Solve hoists the scratch outside the loop: compliant.
+func (Hoisted) Solve(ctx context.Context, items []item) {
+	buf := make([]int, 0, 8)
+	for _, it := range items {
+		buf = append(buf, it.id)
+	}
+	consume(buf...)
+}
+
+type NilAppend struct{}
+
+// Solve copies into a fresh slice per iteration via append-to-nil, in the
+// bare and the converted spelling: flagged. Appending to an existing
+// buffer variable is not (that is the reuse idiom the rule pushes toward).
+func (NilAppend) Solve(ctx context.Context, items []item) {
+	ids := []int{1, 2, 3}
+	buf := make([]int, 0, 8)
+	for range items {
+		cp := append([]int(nil), ids...) // want hotalloc
+		buf = append(buf[:0], ids...)
+		consume(cp...)
+		consume(buf...)
+	}
+}
+
+type MapPerIter struct{}
+
+// Solve builds a membership map per iteration: flagged.
+func (MapPerIter) Solve(ctx context.Context, items []item) {
+	for _, it := range items {
+		seen := map[int]bool{it.id: true} // want hotalloc
+		if seen[it.id] {
+			consume(it.id)
+		}
+	}
+}
+
+type InnerSolve struct{}
+
+// solve (the unexported hot-path twin) is covered too, including
+// allocations inside closures running per iteration.
+func (InnerSolve) solve(items []item) {
+	for range items {
+		f := func() []int {
+			return make([]int, 4) // want hotalloc
+		}
+		consume(f()...)
+	}
+}
+
+type Suppressed struct{}
+
+// Solve carries a justified suppression: clean.
+func (Suppressed) Solve(ctx context.Context, items []item) {
+	for i := range items {
+		if i == 0 {
+			consume(make([]int, 1)...) //casclint:ignore hotalloc runs once, on the first iteration only
+		}
+	}
+}
+
+type NotSolve struct{}
+
+// Prepare is not a Solve path; per-iteration allocation is out of scope.
+func (NotSolve) Prepare(items []item) {
+	for range items {
+		consume(make([]int, 2)...)
+	}
+}

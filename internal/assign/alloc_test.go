@@ -1,0 +1,87 @@
+package assign
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"casc/internal/model"
+)
+
+// These tests pin the tentpole invariant of the arena refactor: once a
+// solver with a persistent arena has seen one instance (the sizing solve,
+// which grows every buffer), repeat solves of comparable instances perform
+// zero heap allocations. A regression here means a hot-path make, map, or
+// interface boxing crept back into the solve loop — exactly what the
+// hotalloc lint rule guards statically; this guards it dynamically.
+
+func steadyStateInstance(t testing.TB) *model.Instance {
+	t.Helper()
+	r := rand.New(rand.NewSource(42))
+	return randomInstance(r, 120, 30, 3)
+}
+
+func requireZeroAllocs(t *testing.T, label string, f func()) {
+	t.Helper()
+	f() // sizing solve: grows the arena to this instance's footprint
+	if avg := testing.AllocsPerRun(20, f); avg != 0 {
+		t.Fatalf("%s steady-state solve allocates %.1f times per run, want 0", label, avg)
+	}
+}
+
+func TestTPGSteadyStateAllocs(t *testing.T) {
+	in := steadyStateInstance(t)
+	ctx := context.Background()
+	s := NewTPG()
+	s.SetArena(NewArena())
+	requireZeroAllocs(t, "TPG", func() {
+		if _, err := s.Solve(ctx, in); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestTPGWarmSteadyStateAllocs(t *testing.T) {
+	in := steadyStateInstance(t)
+	ctx := context.Background()
+	s := NewTPG()
+	s.SetArena(NewArena())
+	warm := NewWarm()
+	requireZeroAllocs(t, "TPG+warm", func() {
+		if _, err := s.SolveWarm(ctx, in, warm); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestGTSteadyStateAllocs(t *testing.T) {
+	in := steadyStateInstance(t)
+	ctx := context.Background()
+	for _, opts := range []GTOptions{{}, {LUB: true}, {LUB: true, Epsilon: 0.01}} {
+		s := NewGT(opts)
+		s.SetArena(NewArena())
+		requireZeroAllocs(t, s.Name(), func() {
+			if _, err := s.Solve(ctx, in); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestThrowawayArenaStillWorks covers the nil-arena path: same code, fresh
+// scratch per call — correctness only, no alloc assertion.
+func TestThrowawayArenaStillWorks(t *testing.T) {
+	in := steadyStateInstance(t)
+	ctx := context.Background()
+	withArena := NewTPG()
+	withArena.SetArena(NewArena())
+	want, err := withArena.Solve(ctx, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewTPG().Solve(ctx, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBitwiseEqual(t, in, got, want, "TPG nil-arena vs persistent-arena")
+}

@@ -63,14 +63,31 @@ type GT struct {
 	// (rounds, swaps, best-response calls, LUB prune savings, stop
 	// reasons). Set it directly or via Instrument.
 	Metrics *metrics.Registry
+	// Arena, when non-nil, is the scratch memory every Solve draws from —
+	// shared by the TPG initialization, the strategic game state, and the
+	// best-response engine's queues — making steady-state solves
+	// allocation-free at the price of arena-owned results and no
+	// concurrent Solve calls (see Arena). Nil uses a throwaway arena per
+	// Solve; the output is identical either way.
+	Arena *Arena
+	// inner runs the Algorithm 3 line 1 TPG initialization on the shared
+	// arena. Held by value so the solver allocates it exactly once; its
+	// Metrics stay nil — the initialization's counters are not flushed, as
+	// before.
+	inner TPG
 }
 
 // NewGT returns a GT solver with the given options.
 func NewGT(opts GTOptions) *GT { return &GT{opts: opts} }
 
+// SetArena implements ArenaHolder.
+func (s *GT) SetArena(ar *Arena) { s.Arena = ar }
+
 // Fork implements Forker: the fork shares nothing mutable with the
-// receiver (Stats/Anytime are per-fork) and adopts the derived component
-// seed, which only matters under RandomInit.
+// receiver (Stats/Anytime are per-fork, and the arena is deliberately not
+// inherited — forks run concurrently; the pool attaches per-worker arenas
+// via SetArena) and adopts the derived component seed, which only matters
+// under RandomInit.
 func (s *GT) Fork(seed int64) Solver {
 	opts := s.opts
 	opts.Seed = seed
@@ -106,11 +123,20 @@ func (s *GT) SolveWarm(ctx context.Context, in *model.Instance, warm *Warm) (*mo
 }
 
 func (s *GT) solve(ctx context.Context, in *model.Instance, warm *Warm) (*model.Assignment, error) {
+	ar := s.Arena
+	if ar == nil {
+		ar = NewArena()
+	}
+	reuses0, grows0 := ar.reuses, ar.grows
 	var a *model.Assignment
 	if s.opts.RandomInit {
+		ar.begin()
 		a = randomInit(in, s.opts.Seed)
 	} else {
-		init, err := NewTPG().solve(ctx, in, warm)
+		// The initialization shares the arena; its solve calls ar.begin(),
+		// so the reuse statistics count one solve for the whole GT run.
+		s.inner.Arena = ar
+		init, err := s.inner.solve(ctx, in, warm)
 		if err != nil {
 			return nil, err
 		}
@@ -119,13 +145,17 @@ func (s *GT) solve(ctx context.Context, in *model.Instance, warm *Warm) (*model.
 	if ctx.Err() != nil {
 		return a, nil
 	}
-	g := newCASCGame(in, a)
+	// gameFor replays a into the arena's game state, after which a (the
+	// arena's result assignment on the TPG path) is no longer read — the
+	// final assignment is materialized back into that same slot below.
+	g := ar.gameFor(in, a)
 	gopts := game.Options{
 		Epsilon:      s.opts.Epsilon,
 		Lazy:         s.opts.LUB,
 		MaxRounds:    s.opts.MaxRounds,
 		Context:      ctx,
 		GainPriority: s.opts.GainPriority,
+		Scratch:      &ar.game,
 	}
 	if s.opts.RecordAnytime {
 		s.Anytime = s.Anytime[:0]
@@ -134,12 +164,12 @@ func (s *GT) solve(ctx context.Context, in *model.Instance, warm *Warm) (*model.
 		}
 	}
 	s.Stats = game.Run(g, gopts)
-	s.recordMetrics(len(in.Workers))
-	return g.assignment(), nil
+	s.recordMetrics(len(in.Workers), ar.reuses-reuses0, ar.grows-grows0)
+	return g.assignmentInto(ar), nil
 }
 
 // recordMetrics flushes the last run's dynamics counters into Metrics.
-func (s *GT) recordMetrics(players int) {
+func (s *GT) recordMetrics(players int, arenaReuses, arenaGrows uint64) {
 	if s.Metrics == nil {
 		return
 	}
@@ -157,6 +187,7 @@ func (s *GT) recordMetrics(players int) {
 	}
 	s.Metrics.Counter(MetricGTStops, "Dynamics terminations by reason.",
 		lbl, metrics.L("reason", string(s.Stats.Reason))).Inc()
+	recordArenaMetrics(s.Metrics, s.Name(), arenaReuses, arenaGrows)
 }
 
 // randomInit assigns each worker a uniformly random candidate task with
@@ -190,10 +221,16 @@ type cascGame struct {
 	in     *model.Instance
 	groups []*model.GroupScore
 	cur    []int // worker -> task index or model.Unassigned
+	// affected is Apply's reusable output buffer; the engine consumes it
+	// before the next Apply, so one buffer per game suffices.
+	affected []int
 }
 
 const stratNone = -1
 
+// newCASCGame builds a freshly allocated game over init. The GT hot path
+// uses Arena.gameFor instead; this stays for one-shot analyses (regret
+// evaluation, tests) where the game outlives any solver arena.
 func newCASCGame(in *model.Instance, init *model.Assignment) *cascGame {
 	g := &cascGame{
 		in:     in,
@@ -269,20 +306,28 @@ func (g *cascGame) BestResponse(w int) (int, float64, bool) {
 	return bestS, bestGain, true
 }
 
-// Apply implements game.Game.
+// Apply implements game.Game. The returned slice aliases the game's
+// reusable buffer and is only valid until the next Apply — exactly the
+// engine's consumption pattern. A nil return (nothing affected) preserves
+// the engine's "unknown" convention of the original per-call slices,
+// though in this game every legal move touches at least one candidate
+// list.
 func (g *cascGame) Apply(w, strategy int) []int {
 	cand := g.in.WorkerCand[w]
-	var affected []int
+	g.affected = g.affected[:0]
 	leave := func() {
 		if ct := g.cur[w]; ct != model.Unassigned {
 			g.groups[ct].Leave(w)
 			g.cur[w] = model.Unassigned
-			affected = append(affected, g.in.TaskCand[ct]...)
+			g.affected = append(g.affected, g.in.TaskCand[ct]...)
 		}
 	}
 	if strategy == len(cand) {
 		leave()
-		return affected
+		if len(g.affected) == 0 {
+			return nil
+		}
+		return g.affected
 	}
 	t := cand[strategy]
 	grp := g.groups[t]
@@ -294,14 +339,14 @@ func (g *cascGame) Apply(w, strategy int) []int {
 		if out >= 0 {
 			grp.Leave(out)
 			g.cur[out] = model.Unassigned
-			affected = append(affected, out)
+			g.affected = append(g.affected, out)
 		}
 	}
 	leave()
 	grp.Join(w)
 	g.cur[w] = t
-	affected = append(affected, g.in.TaskCand[t]...)
-	return affected
+	g.affected = append(g.affected, g.in.TaskCand[t]...)
+	return g.affected
 }
 
 // Potential implements game.Game: the overall cooperation quality revenue
@@ -314,9 +359,10 @@ func (g *cascGame) Potential() float64 {
 	return total
 }
 
-// assignment materializes the current joint strategy as an Assignment.
-func (g *cascGame) assignment() *model.Assignment {
-	a := model.NewAssignment(g.in)
+// assignmentInto materializes the current joint strategy into the arena's
+// result assignment.
+func (g *cascGame) assignmentInto(ar *Arena) *model.Assignment {
+	a := ar.assignmentFor(g.in)
 	for w, t := range g.cur {
 		if t != model.Unassigned {
 			a.Assign(w, t)

@@ -53,6 +53,14 @@ const (
 	// (TPG under SolveWarm).
 	MetricTPGWarmHits   = "casc_tpg_warm_hits_total"
 	MetricTPGWarmMisses = "casc_tpg_warm_misses_total"
+
+	// MetricArenaReuses counts solves served by an already-used scratch
+	// arena — the zero-allocation steady state (TPG and GT families).
+	MetricArenaReuses = "casc_arena_reuses_total"
+	// MetricArenaGrows counts scratch-arena buffer (re)allocations during a
+	// solve. The first solve of a size regime grows; a steady nonzero rate
+	// afterwards means instance sizes keep outrunning the arena.
+	MetricArenaGrows = "casc_arena_grows_total"
 )
 
 // Instrument wraps s so every Solve records wall time, score, and call

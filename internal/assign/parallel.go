@@ -145,8 +145,6 @@ func (p *Parallel) Solve(ctx context.Context, in *model.Instance) (*model.Assign
 		workers = len(comps)
 	}
 
-	results := make([]*model.Assignment, len(comps))
-	maps := make([]*model.SubIndex, len(comps))
 	errs := make([]error, len(comps))
 	var clipped atomic.Uint64
 	jobs := make(chan int)
@@ -155,6 +153,15 @@ func (p *Parallel) Solve(ctx context.Context, in *model.Instance) (*model.Assign
 	for i := 0; i < workers; i++ {
 		go func() {
 			defer wg.Done()
+			// One scratch arena per pool worker, attached to every fork this
+			// worker runs and reused across all its components — the
+			// allocation-free steady state of the fan-out. Reuse is sound
+			// because each arena-owned component result is lifted into the
+			// merged assignment below, before the next solve recycles its
+			// memory; lifting here (instead of after the barrier) is
+			// race-free since components write disjoint worker and task
+			// slots of the parent.
+			arena := NewArena()
 			for ci := range jobs {
 				// One poll per component bounds the cancellation reaction
 				// even when the inner solver's own polls are sparse; a
@@ -165,7 +172,7 @@ func (p *Parallel) Solve(ctx context.Context, in *model.Instance) (*model.Assign
 				c := comps[ci]
 				sub, m := in.SubInstance(c.Workers, c.Tasks)
 				start := now()
-				a, err := p.solveComponent(ctx, sub, ComponentSeed(p.opts.Seed, c.Key()))
+				a, err := p.solveComponent(ctx, sub, ComponentSeed(p.opts.Seed, c.Key()), arena)
 				if latH != nil {
 					latH.Observe(now().Sub(start).Seconds())
 				}
@@ -179,7 +186,10 @@ func (p *Parallel) Solve(ctx context.Context, in *model.Instance) (*model.Assign
 					a = nil
 					clipped.Add(1)
 				}
-				results[ci], maps[ci], errs[ci] = a, m, err
+				errs[ci] = err
+				if err == nil && a != nil {
+					m.Lift(a, merged)
+				}
 			}
 		}()
 	}
@@ -196,26 +206,27 @@ func (p *Parallel) Solve(ctx context.Context, in *model.Instance) (*model.Assign
 	}
 
 	var firstErr error
-	//casclint:ignore ctxloop merge of already-solved components: bounded, in-memory, non-blocking
 	for ci := range comps {
 		if errs[ci] != nil {
-			if firstErr == nil {
-				firstErr = errs[ci]
-			}
-			continue
-		}
-		if results[ci] != nil {
-			maps[ci].Lift(results[ci], merged)
+			firstErr = errs[ci]
+			break
 		}
 	}
 	return merged, firstErr
 }
 
-// solveComponent runs one component through a fork of the inner solver, or
-// through the shared inner under the mutex when it cannot fork.
-func (p *Parallel) solveComponent(ctx context.Context, sub *model.Instance, seed int64) (*model.Assignment, error) {
+// solveComponent runs one component through a fork of the inner solver
+// (handing arena-capable forks the pool worker's scratch arena), or through
+// the shared inner under the mutex when it cannot fork. The shared inner
+// keeps whatever arena its owner configured — the mutex serializes it, so
+// that stays sound.
+func (p *Parallel) solveComponent(ctx context.Context, sub *model.Instance, seed int64, ar *Arena) (*model.Assignment, error) {
 	if f, ok := p.inner.(Forker); ok {
-		return f.Fork(seed).Solve(ctx, sub)
+		fork := f.Fork(seed)
+		if h, ok := fork.(ArenaHolder); ok {
+			h.SetArena(ar)
+		}
+		return fork.Solve(ctx, sub)
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()

@@ -1,7 +1,6 @@
 package assign
 
 import (
-	"container/heap"
 	"context"
 	"sort"
 
@@ -25,6 +24,12 @@ type TPG struct {
 	// refreshes and prune hits, stage-two heap operations and stale
 	// re-evaluations. Set it directly or via Instrument.
 	Metrics *metrics.Registry
+	// Arena, when non-nil, is the scratch memory every Solve draws from,
+	// making steady-state solves allocation-free at the price of
+	// arena-owned results and no concurrent Solve calls (see Arena). Nil
+	// uses a throwaway arena per Solve — the exact same code path, so the
+	// output is identical either way.
+	Arena *Arena
 }
 
 // DefaultSeedLimit is the largest candidate pool searched exhaustively for
@@ -37,9 +42,14 @@ func NewTPG() *TPG { return &TPG{} }
 // Name implements Solver.
 func (s *TPG) Name() string { return "TPG" }
 
+// SetArena implements ArenaHolder.
+func (s *TPG) SetArena(ar *Arena) { s.Arena = ar }
+
 // Fork implements Forker: TPG is deterministic, so the fork just carries
 // the configuration (and the shared, concurrency-safe metrics registry)
-// while leaving no mutable state in common.
+// while leaving no mutable state in common — the arena in particular is
+// deliberately NOT inherited, since forks run concurrently; the pool that
+// forked us attaches a per-worker arena via SetArena if it wants one.
 func (s *TPG) Fork(int64) Solver { return &TPG{SeedLimit: s.SeedLimit, Metrics: s.Metrics} }
 
 // tpgCounters accumulates per-Solve instrumentation locally so the hot
@@ -67,23 +77,26 @@ func (s *TPG) SolveWarm(ctx context.Context, in *model.Instance, warm *Warm) (*m
 }
 
 func (s *TPG) solve(ctx context.Context, in *model.Instance, warm *Warm) (*model.Assignment, error) {
-	a := model.NewAssignment(in)
-	groups := newGroups(in)
-	avail := make([]bool, len(in.Workers))
-	for i := range avail {
-		avail[i] = true
+	ar := s.Arena
+	if ar == nil {
+		ar = NewArena()
 	}
+	reuses0, grows0 := ar.reuses, ar.grows
+	ar.begin()
+	a := ar.assignmentFor(in)
+	groups := ar.groupsFor(in)
+	avail := ar.boolsFor(&ar.avail, len(in.Workers), true)
 	var c tpgCounters
-	served := s.stageOne(ctx, in, a, groups, avail, &c, warm)
+	served := s.stageOne(ctx, in, a, groups, avail, ar, &c, warm)
 	if ctx.Err() == nil {
-		s.stageTwo(ctx, in, a, groups, avail, served, &c)
+		s.stageTwo(ctx, in, a, groups, avail, served, ar, &c)
 	}
-	s.recordMetrics(&c)
+	s.recordMetrics(&c, ar.reuses-reuses0, ar.grows-grows0)
 	return a, nil
 }
 
 // recordMetrics flushes the accumulated counters into Metrics.
-func (s *TPG) recordMetrics(c *tpgCounters) {
+func (s *TPG) recordMetrics(c *tpgCounters, arenaReuses, arenaGrows uint64) {
 	if s.Metrics == nil {
 		return
 	}
@@ -95,9 +108,24 @@ func (s *TPG) recordMetrics(c *tpgCounters) {
 	s.Metrics.Counter(MetricTPGStaleReevals, "Stage-two stale deltas re-evaluated.", lbl).Add(c.staleReevals)
 	s.Metrics.Counter(MetricTPGWarmHits, "Stage-one iteration-0 subsets served from the warm cache.", lbl).Add(c.warmHits)
 	s.Metrics.Counter(MetricTPGWarmMisses, "Stage-one iteration-0 subsets recomputed into the warm cache.", lbl).Add(c.warmMisses)
+	recordArenaMetrics(s.Metrics, s.Name(), arenaReuses, arenaGrows)
 }
 
-// newGroups allocates one GroupScore per task.
+// recordArenaMetrics flushes one solve's arena reuse/grow deltas.
+func recordArenaMetrics(reg *metrics.Registry, solver string, reuses, grows uint64) {
+	lbl := metrics.L("solver", solver)
+	if reuses > 0 {
+		reg.Counter(MetricArenaReuses, "Solves served by an already-used scratch arena.", lbl).Add(reuses)
+	}
+	if grows > 0 {
+		reg.Counter(MetricArenaGrows, "Scratch-arena buffer growths during solves.", lbl).Add(grows)
+	}
+}
+
+// newGroups allocates one GroupScore per task. The TPG/GT hot paths draw
+// groups from the arena instead (Arena.groupsFor); this stays for the
+// simpler solvers (WST, EXACT, local search) where allocation is not the
+// bottleneck.
 func newGroups(in *model.Instance) []*model.GroupScore {
 	gs := make([]*model.GroupScore, len(in.Tasks))
 	for t := range in.Tasks {
@@ -108,18 +136,21 @@ func newGroups(in *model.Instance) []*model.GroupScore {
 
 // stageOne runs Algorithm 2 lines 1-14 and returns the set of tasks that
 // received a B-worker set.
-func (s *TPG) stageOne(ctx context.Context, in *model.Instance, a *model.Assignment, groups []*model.GroupScore, avail []bool, c *tpgCounters, warm *Warm) []bool {
+func (s *TPG) stageOne(ctx context.Context, in *model.Instance, a *model.Assignment, groups []*model.GroupScore, avail []bool, ar *Arena, c *tpgCounters, warm *Warm) []bool {
 	n := len(in.Tasks)
-	served := make([]bool, n)
-	remaining := make([]bool, n)
-	for t := range remaining {
-		remaining[t] = true
-	}
-	bestSet := make([][]int, n)
-	bestScore := make([]float64, n)
-	dirty := make([]bool, n)
-	for t := range dirty {
-		dirty[t] = true
+	served := ar.boolsFor(&ar.served, n, false)
+	remaining := ar.boolsFor(&ar.remaining, n, true)
+	dirty := ar.boolsFor(&ar.dirty, n, true)
+	bestScore := ar.floatsFor(&ar.bestScore, n)
+	bestSet := ar.setsFor(n, in.B)
+	// candCount[t] tracks |TaskCand[t] ∩ avail| exactly: every worker starts
+	// available and is committed (made unavailable) at most once, so
+	// decrementing the counts of its candidate tasks at commit time keeps
+	// the cache equal to a fresh recount. This hoists the per-candidate
+	// availableCands sweep out of the tie-break loop.
+	candCount := ar.intsFor(&ar.candCount, n)
+	for t := 0; t < n; t++ {
+		candCount[t] = len(in.TaskCand[t])
 	}
 
 	if warm != nil {
@@ -135,10 +166,10 @@ func (s *TPG) stageOne(ctx context.Context, in *model.Instance, a *model.Assignm
 				return served
 			}
 			if wt := warm.lookup(in, t); wt != nil {
-				bestSet[t], bestScore[t] = wt.apply(in, t)
+				bestSet[t], bestScore[t] = wt.apply(in, t, ar.setSlot(t))
 				c.warmHits++
 			} else {
-				bestSet[t], bestScore[t] = s.bestBSubset(in, t, avail)
+				bestSet[t], bestScore[t] = s.bestBSubset(in, t, avail, ar)
 				warm.store(in, t, bestSet[t], bestScore[t])
 				c.subsetRefreshes++
 				c.warmMisses++
@@ -163,7 +194,7 @@ func (s *TPG) stageOne(ctx context.Context, in *model.Instance, a *model.Assignm
 				if ctx.Err() != nil {
 					return served
 				}
-				bestSet[t], bestScore[t] = s.bestBSubset(in, t, avail)
+				bestSet[t], bestScore[t] = s.bestBSubset(in, t, avail, ar)
 				dirty[t] = false
 				c.subsetRefreshes++
 			} else {
@@ -183,14 +214,14 @@ func (s *TPG) stageOne(ctx context.Context, in *model.Instance, a *model.Assignm
 		// worker set with the same score, prefer the task with the most
 		// remaining candidate workers.
 		winner := bestTask
-		winnerCands := availableCands(in, bestTask, avail)
+		winnerCands := candCount[bestTask]
 		for t := 0; t < n; t++ {
 			if t == bestTask || !remaining[t] || bestSet[t] == nil {
 				continue
 			}
 			if bestScore[t] == bestScore[bestTask] && sameSet(bestSet[t], bestSet[bestTask]) {
-				if c := availableCands(in, t, avail); c > winnerCands {
-					winner, winnerCands = t, c
+				if cc := candCount[t]; cc > winnerCands {
+					winner, winnerCands = t, cc
 				}
 			}
 		}
@@ -205,6 +236,7 @@ func (s *TPG) stageOne(ctx context.Context, in *model.Instance, a *model.Assignm
 			groups[winner].Join(w)
 			avail[w] = false
 			for _, t := range in.WorkerCand[w] {
+				candCount[t]--
 				if dirty[t] || !remaining[t] {
 					continue
 				}
@@ -222,29 +254,23 @@ func (s *TPG) stageOne(ctx context.Context, in *model.Instance, a *model.Assignm
 	return served
 }
 
-// availableCands counts the still-available candidate workers of task t.
-func availableCands(in *model.Instance, t int, avail []bool) int {
-	c := 0
-	for _, w := range in.TaskCand[t] {
-		if avail[w] {
-			c++
-		}
-	}
-	return c
-}
-
-// sameSet reports whether two B-sets contain the same workers. Sets are
-// small (B is 3 in all experiments), so sorting copies is cheap.
+// sameSet reports whether two B-sets contain the same workers. Each set
+// holds distinct workers, so mutual size equality plus one-sided membership
+// is set equality; B is 3 in all experiments, making the O(B²) scan cheaper
+// than the sort copies it replaced.
 func sameSet(a, b []int) bool {
 	if len(a) != len(b) {
 		return false
 	}
-	as := append([]int(nil), a...)
-	bs := append([]int(nil), b...)
-	sort.Ints(as)
-	sort.Ints(bs)
-	for i := range as {
-		if as[i] != bs[i] {
+	for _, x := range a {
+		found := false
+		for _, y := range b {
+			if y == x {
+				found = true
+				break
+			}
+		}
+		if !found {
 			return false
 		}
 	}
@@ -252,30 +278,32 @@ func sameSet(a, b []int) bool {
 }
 
 // bestBSubset greedily builds the B-worker set with the highest cooperation
-// quality for task t from the available candidates. It returns (nil, 0)
-// when fewer than B candidates are available. The greedy: seed with the
-// best available pair (exhaustive up to SeedLimit candidates), then add the
-// worker with the maximum marginal pair-sum gain until B workers are
-// chosen. Finding the true optimum is NP-hard (max-weight k-induced
-// subgraph, §V-C), so a heuristic here matches both the paper's complexity
-// budget (O(m̄) per task and iteration) and its spirit.
-func (s *TPG) bestBSubset(in *model.Instance, t int, avail []bool) ([]int, float64) {
+// quality for task t from the available candidates, into task t's arena
+// B-set slot. It returns (nil, 0) when fewer than B candidates are
+// available. The greedy: seed with the best available pair (exhaustive up
+// to SeedLimit candidates), then add the worker with the maximum marginal
+// pair-sum gain until B workers are chosen. Finding the true optimum is
+// NP-hard (max-weight k-induced subgraph, §V-C), so a heuristic here
+// matches both the paper's complexity budget (O(m̄) per task and iteration)
+// and its spirit.
+func (s *TPG) bestBSubset(in *model.Instance, t int, avail []bool, ar *Arena) ([]int, float64) {
 	limit := s.SeedLimit
 	if limit <= 0 {
 		limit = DefaultSeedLimit
 	}
-	cands := make([]int, 0, len(in.TaskCand[t]))
+	cands := ar.cands[:0]
 	for _, w := range in.TaskCand[t] {
 		if avail[w] {
 			cands = append(cands, w)
 		}
 	}
+	ar.cands = cands // keep grown capacity for the next call
 	B := in.B
 	if len(cands) < B {
 		return nil, 0
 	}
 	if len(cands) > limit {
-		cands = truncateByAffinity(in, cands, limit)
+		cands = truncateByAffinity(in, cands, limit, ar)
 	}
 	// Seed: best ordered-pair sum.
 	q := in.Quality
@@ -288,13 +316,19 @@ func (s *TPG) bestBSubset(in *model.Instance, t int, avail []bool) ([]int, float
 			}
 		}
 	}
-	chosen := []int{cands[bi], cands[bk]}
-	inChosen := map[int]bool{cands[bi]: true, cands[bk]: true}
+	chosen := ar.setSlot(t)
+	chosen = append(chosen, cands[bi], cands[bk])
+	// Epoch-stamped marks replace the per-call inChosen map: stamping w
+	// with this call's epoch marks membership without any clearing loop.
+	epoch := ar.nextEpoch(len(in.Workers))
+	mark := ar.chosenMark
+	mark[cands[bi]] = epoch
+	mark[cands[bk]] = epoch
 	pairSum := bSum
 	for len(chosen) < B {
 		bestW, bestGain := -1, -1.0
 		for _, w := range cands {
-			if inChosen[w] {
+			if mark[w] == epoch {
 				continue
 			}
 			gain := 0.0
@@ -309,12 +343,12 @@ func (s *TPG) bestBSubset(in *model.Instance, t int, avail []bool) ([]int, float
 			return nil, 0 // cannot happen: len(cands) >= B
 		}
 		chosen = append(chosen, bestW)
-		inChosen[bestW] = true
+		mark[bestW] = epoch
 		pairSum += bestGain
 	}
 	denom := B
-	if cap := in.Tasks[t].Capacity; cap < denom {
-		denom = cap
+	if c := in.Tasks[t].Capacity; c < denom {
+		denom = c
 	}
 	if denom < 2 {
 		return nil, 0
@@ -324,18 +358,15 @@ func (s *TPG) bestBSubset(in *model.Instance, t int, avail []bool) ([]int, float
 
 // truncateByAffinity keeps the limit candidates with the highest total
 // affinity to a fixed sample of the pool, a cheap proxy for q̂ when the
-// pool is too large for exhaustive pair seeding.
-func truncateByAffinity(in *model.Instance, cands []int, limit int) []int {
+// pool is too large for exhaustive pair seeding. The surviving workers are
+// written back into cands[:limit].
+func truncateByAffinity(in *model.Instance, cands []int, limit int, ar *Arena) []int {
 	const sample = 32
 	step := len(cands) / sample
 	if step < 1 {
 		step = 1
 	}
-	type scored struct {
-		w int
-		s float64
-	}
-	scoredCands := make([]scored, len(cands))
+	sc := ar.scoredFor(len(cands))
 	for i, w := range cands {
 		var sum float64
 		for j := 0; j < len(cands); j += step {
@@ -344,12 +375,13 @@ func truncateByAffinity(in *model.Instance, cands []int, limit int) []int {
 				sum += in.Quality.Quality(w, o)
 			}
 		}
-		scoredCands[i] = scored{w: w, s: sum}
+		sc.w[i] = w
+		sc.s[i] = sum
 	}
-	sort.Slice(scoredCands, func(i, j int) bool { return scoredCands[i].s > scoredCands[j].s })
-	out := make([]int, limit)
+	sort.Sort(sc)
+	out := cands[:limit]
 	for i := range out {
-		out[i] = scoredCands[i].w
+		out[i] = sc.w[i]
 	}
 	return out
 }
@@ -362,6 +394,10 @@ type pairEntry struct {
 	version int // task membership version the delta was computed at
 }
 
+// pairHeap is a binary max-heap of pairEntry with container/heap's exact
+// sift semantics, implemented as concrete push/pop methods because the
+// stdlib driver boxes every element through interface{} — an allocation per
+// operation on the hottest stage-two loop.
 type pairHeap []pairEntry
 
 func (h pairHeap) Len() int { return len(h) }
@@ -382,14 +418,47 @@ func (h pairHeap) Less(i, j int) bool {
 	}
 	return h[i].worker < h[j].worker
 }
-func (h pairHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *pairHeap) Push(x interface{}) { *h = append(*h, x.(pairEntry)) }
-func (h *pairHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+func (h pairHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+// push appends e and sifts it up — heap.Push without the interface boxing.
+func (h *pairHeap) push(e pairEntry) {
+	*h = append(*h, e)
+	s := *h
+	j := len(s) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !s.Less(j, i) {
+			break
+		}
+		s.Swap(i, j)
+		j = i
+	}
+}
+
+// pop removes and returns the top entry — heap.Pop's swap-to-end then
+// sift-down, without the interface boxing.
+func (h *pairHeap) pop() pairEntry {
+	s := *h
+	n := len(s) - 1
+	s.Swap(0, n)
+	i := 0
+	for {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if j2 := j + 1; j2 < n && s.Less(j2, j) {
+			j = j2
+		}
+		if !s.Less(j, i) {
+			break
+		}
+		s.Swap(i, j)
+		i = j
+	}
+	e := s[n]
+	*h = s[:n]
+	return e
 }
 
 // stageTwo runs Algorithm 2 lines 15-20: it repeatedly commits the
@@ -397,16 +466,20 @@ func (h *pairHeap) Pop() interface{} {
 // tasks served in stage one, until tasks are full, workers are exhausted,
 // or no pair increases the objective. A lazy max-heap with per-task version
 // stamps keeps each selection near O(log |pairs|).
-func (s *TPG) stageTwo(ctx context.Context, in *model.Instance, a *model.Assignment, groups []*model.GroupScore, avail []bool, served []bool, c *tpgCounters) {
-	version := make([]int, len(in.Tasks))
-	h := &pairHeap{}
+func (s *TPG) stageTwo(ctx context.Context, in *model.Instance, a *model.Assignment, groups []*model.GroupScore, avail []bool, served []bool, ar *Arena, c *tpgCounters) {
+	version := ar.intsFor(&ar.version, len(in.Tasks))
+	for t := range version {
+		version[t] = 0
+	}
+	h := &ar.pairs
+	*h = (*h)[:0]
 	for t := range in.Tasks {
 		if !served[t] || groups[t].Len() >= groups[t].Capacity() {
 			continue
 		}
 		for _, w := range in.TaskCand[t] {
 			if avail[w] {
-				heap.Push(h, pairEntry{delta: groups[t].JoinDelta(w), worker: w, task: t, version: version[t]})
+				h.push(pairEntry{delta: groups[t].JoinDelta(w), worker: w, task: t, version: version[t]})
 				c.heapPushes++
 			}
 		}
@@ -415,7 +488,7 @@ func (s *TPG) stageTwo(ctx context.Context, in *model.Instance, a *model.Assignm
 		if ctx.Err() != nil {
 			return
 		}
-		e := heap.Pop(h).(pairEntry)
+		e := h.pop()
 		c.heapPops++
 		if !avail[e.worker] {
 			continue
@@ -428,7 +501,7 @@ func (s *TPG) stageTwo(ctx context.Context, in *model.Instance, a *model.Assignm
 			// Stale delta: re-evaluate and reinsert.
 			e.delta = g.JoinDelta(e.worker)
 			e.version = version[e.task]
-			heap.Push(h, e)
+			h.push(e)
 			c.heapPushes++
 			c.staleReevals++
 			continue

@@ -70,16 +70,17 @@ func (w *Warm) lookup(in *model.Instance, t int) *warmTask {
 
 // apply materializes the cached subset as worker positions of in, in the
 // original greedy commit order (group member order feeds the float
-// summation order of GroupQuality, so it must be preserved exactly).
-func (wt *warmTask) apply(in *model.Instance, t int) ([]int, float64) {
+// summation order of GroupQuality, so it must be preserved exactly). The
+// subset is appended to dst — the task's arena B-set slot — so a cache hit
+// allocates nothing.
+func (wt *warmTask) apply(in *model.Instance, t int, dst []int) ([]int, float64) {
 	if wt.set == nil {
 		return nil, 0
 	}
-	set := make([]int, len(wt.set))
-	for i, idx := range wt.set {
-		set[i] = in.TaskCand[t][idx]
+	for _, idx := range wt.set {
+		dst = append(dst, in.TaskCand[t][idx])
 	}
-	return set, wt.score
+	return dst, wt.score
 }
 
 // store records task position t's freshly computed iteration-0 subset,

@@ -86,6 +86,37 @@ type Options struct {
 	// engine-level scheduling ablation; it never changes what converges,
 	// only how fast (see BenchmarkAblationGainPriority).
 	GainPriority bool
+	// Scratch, when non-nil, supplies reusable per-run buffers so a
+	// steady-state Run allocates nothing. The buffers are resized to the
+	// player count and fully re-initialized, so reuse never changes the
+	// dynamics — it only recycles memory. Not safe for concurrent Runs.
+	Scratch *Scratch
+}
+
+// Scratch holds the engine's per-run working memory for reuse across Runs
+// (see Options.Scratch). The zero value is ready to use.
+type Scratch struct {
+	dirty    []bool
+	lastGain []float64
+	queue    []int
+	cur      []int
+}
+
+// prepare resizes the buffers for n players, reusing capacity.
+func (s *Scratch) prepare(n int) ([]bool, []float64, []int, []int) {
+	if cap(s.dirty) < n {
+		s.dirty = make([]bool, n)
+		s.lastGain = make([]float64, n)
+		s.queue = make([]int, 0, n)
+		s.cur = make([]int, 0, n)
+	}
+	s.dirty = s.dirty[:n]
+	s.lastGain = s.lastGain[:n]
+	for i := range s.dirty {
+		s.dirty[i] = false
+		s.lastGain[i] = 0
+	}
+	return s.dirty, s.lastGain, s.queue[:0], s.cur[:0]
 }
 
 // Result reports what the dynamics did.
@@ -113,9 +144,19 @@ func Run(g Game, opts Options) Result {
 	}
 	ctx := opts.Context
 
-	dirty := make([]bool, n)
-	lastGain := make([]float64, n)
-	queue := make([]int, 0, n)
+	var (
+		dirty    []bool
+		lastGain []float64
+		queue    []int
+		cur      []int
+	)
+	if opts.Scratch != nil {
+		dirty, lastGain, queue, cur = opts.Scratch.prepare(n)
+	} else {
+		dirty = make([]bool, n)
+		lastGain = make([]float64, n)
+		queue = make([]int, 0, n)
+	}
 	markAll := func() {
 		queue = queue[:0]
 		for p := 0; p < n; p++ {
@@ -141,8 +182,11 @@ func Run(g Game, opts Options) Result {
 		roundGain := 0.0
 		roundMoves := 0
 		// Process the current queue snapshot as one "round". New marks made
-		// during the round land in the next round's queue.
-		cur := append([]int(nil), queue...)
+		// during the round land in the next round's queue. The swap keeps
+		// both buffers' storage alive so a scratch-backed run never
+		// reallocates: each appears at most n long (mark is dirty-guarded).
+		cur = cur[:0]
+		cur = append(cur, queue...)
 		queue = queue[:0]
 		if opts.GainPriority {
 			sort.SliceStable(cur, func(a, b int) bool { return lastGain[cur[a]] > lastGain[cur[b]] })

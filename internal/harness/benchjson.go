@@ -27,6 +27,11 @@ type BenchEntry struct {
 	MeanMS     float64 `json:"mean_ms"`
 	P50MS      float64 `json:"p50_ms"`
 	P95MS      float64 `json:"p95_ms"`
+	// AllocsPerOp is the steady-state heap allocation count per solve
+	// (minimum Mallocs delta over the rounds). Present only when the run
+	// recorded allocations (-benchmem or the paperscale experiment); a nil
+	// pointer distinguishes "not measured" from a genuine zero.
+	AllocsPerOp *uint64 `json:"allocs_per_op,omitempty"`
 }
 
 // BenchFile is the top-level BENCH_<experiment>.json document.
@@ -49,8 +54,14 @@ type BenchFile struct {
 	// Incremental records an engine-only run (Options.Incremental): its
 	// files lack the from-scratch baseline entries and must not be diffed
 	// against dual-mode baselines.
-	Incremental bool         `json:"incremental,omitempty"`
-	Entries     []BenchEntry `json:"entries"`
+	Incremental bool `json:"incremental,omitempty"`
+	// Arena and Benchmem record the scratch-reuse and allocation-tracking
+	// modes of the run, so arena-warm baselines are distinguishable from
+	// cold-scratch ones in the perf trajectory. Benchmem is set whenever
+	// any entry carries allocs_per_op, however it was recorded.
+	Arena    bool         `json:"arena,omitempty"`
+	Benchmem bool         `json:"benchmem,omitempty"`
+	Entries  []BenchEntry `json:"entries"`
 }
 
 // quantile returns the q-quantile of the samples by linear interpolation
@@ -93,7 +104,7 @@ func (s *Series) BenchEntries() []BenchEntry {
 	for _, pt := range s.Points {
 		for _, r := range pt.Results {
 			const toMS = 1e3
-			out = append(out, BenchEntry{
+			e := BenchEntry{
 				Experiment: s.Experiment,
 				Figure:     s.Figure,
 				X:          pt.Label,
@@ -104,7 +115,11 @@ func (s *Series) BenchEntries() []BenchEntry {
 				MeanMS:     mean(r.LatencySeconds) * toMS,
 				P50MS:      quantile(r.LatencySeconds, 0.50) * toMS,
 				P95MS:      quantile(r.LatencySeconds, 0.95) * toMS,
-			})
+			}
+			if n, ok := r.AllocsPerOp(); ok {
+				e.AllocsPerOp = &n
+			}
+			out = append(out, e)
 		}
 	}
 	return out
@@ -113,7 +128,7 @@ func (s *Series) BenchEntries() []BenchEntry {
 // BenchFile assembles the JSON document for this series.
 func (s *Series) BenchFile(opt Options) *BenchFile {
 	opt = opt.withDefaults()
-	return &BenchFile{
+	b := &BenchFile{
 		Experiment:  s.Experiment,
 		Figure:      s.Figure,
 		XLabel:      s.XLabel,
@@ -124,8 +139,19 @@ func (s *Series) BenchFile(opt Options) *BenchFile {
 		Workers:     opt.Workers,
 		BudgetMS:    float64(opt.Budget) / float64(time.Millisecond),
 		Incremental: opt.Incremental,
+		Arena:       opt.Arena,
+		Benchmem:    opt.Benchmem,
 		Entries:     s.BenchEntries(),
 	}
+	// Some experiments (paperscale) record allocations regardless of the
+	// flag; mark the file so readers and DiffAgainst treat it as measured.
+	for _, e := range b.Entries {
+		if e.AllocsPerOp != nil {
+			b.Benchmem = true
+			break
+		}
+	}
+	return b
 }
 
 // LoadBench reads the committed BENCH_<experiment>.json baseline from dir.
@@ -156,12 +182,31 @@ const (
 	DiffLatencyFloorMS = 50.0
 )
 
+// DiffAllocFloor absorbs runtime-internal allocation jitter (GC pacing
+// puts a handful of runtime mallocs inside some solve windows, varying run
+// to run) on near-zero baselines, the alloc analogue of
+// DiffLatencyFloorMS. It is far below the thousands of allocs/op a lost
+// arena path would reintroduce, so the gate still catches real
+// regressions.
+const DiffAllocFloor = 16
+
+// allocLimit is the highest steady-state allocs/op a fresh run may report
+// against a baseline of `want` before the diff fails: 12.5% proportional
+// headroom plus the absolute jitter floor.
+func allocLimit(want uint64) uint64 {
+	return want + want/8 + DiffAllocFloor
+}
+
 // DiffAgainst compares a fresh bench run to a committed baseline: the
 // configurations must agree, every (sweep point, solver) datapoint must be
-// present, scores (and upper bounds) must match bitwise, and mean/p95
+// present, scores (and upper bounds) must match bitwise, mean/p95
 // latencies must stay under DiffLatencyFactor× the baseline (plus
-// DiffLatencyFloorMS). It returns an error describing the first few
-// mismatches, nil when the run is clean.
+// DiffLatencyFloorMS), and wherever the baseline recorded allocs/op the
+// fresh run must have measured them and stay within allocLimit. Arena mode
+// is deliberately absent from the config check: arenas are
+// output-preserving, so a mismatch surfaces as an alloc or latency
+// regression, not a config error. It returns an error describing the first
+// few mismatches, nil when the run is clean.
 func (b *BenchFile) DiffAgainst(base *BenchFile) error {
 	var errs []string
 	fail := func(format string, args ...any) {
@@ -203,6 +248,16 @@ func (b *BenchFile) DiffAgainst(base *BenchFile) error {
 		if lim := want.MeanMS*DiffLatencyFactor + DiffLatencyFloorMS; got.MeanMS > lim {
 			fail("(%s=%s, %s) mean %.1fms exceeds %.1fms (baseline %.1fms × %v + %vms)",
 				b.XLabel, want.X, want.Solver, got.MeanMS, lim, want.MeanMS, DiffLatencyFactor, DiffLatencyFloorMS)
+		}
+		if want.AllocsPerOp != nil {
+			switch {
+			case got.AllocsPerOp == nil:
+				fail("(%s=%s, %s) baseline gates allocs/op (%d) but fresh run did not measure them; rerun with -benchmem",
+					b.XLabel, want.X, want.Solver, *want.AllocsPerOp)
+			case *got.AllocsPerOp > allocLimit(*want.AllocsPerOp):
+				fail("(%s=%s, %s) allocs/op %d exceeds %d (baseline %d)",
+					b.XLabel, want.X, want.Solver, *got.AllocsPerOp, allocLimit(*want.AllocsPerOp), *want.AllocsPerOp)
+			}
 		}
 	}
 	if len(b.Entries) > len(base.Entries) {

@@ -1,0 +1,80 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func u64(v uint64) *uint64 { return &v }
+
+// benchPair builds a fresh/baseline file pair sharing one config, with a
+// single datapoint whose allocs/op can be varied per side.
+func benchPair(got, want *uint64) (*BenchFile, *BenchFile) {
+	mk := func(allocs *uint64) *BenchFile {
+		return &BenchFile{
+			Experiment: "paperscale",
+			XLabel:     "scratch mode",
+			Rounds:     2,
+			Seed:       1,
+			Scale:      1,
+			Benchmem:   allocs != nil,
+			Entries: []BenchEntry{{
+				Experiment: "paperscale", X: "arena", Solver: "TPG",
+				N: 2, Score: 10, Upper: 12,
+				MeanMS: 1, P50MS: 1, P95MS: 1,
+				AllocsPerOp: allocs,
+			}},
+		}
+	}
+	return mk(got), mk(want)
+}
+
+func TestBenchDiffAllocGate(t *testing.T) {
+	cases := []struct {
+		name    string
+		got     *uint64
+		want    *uint64
+		wantErr string // substring of the expected error; "" = clean
+	}{
+		{name: "both zero", got: u64(0), want: u64(0)},
+		{name: "within jitter floor", got: u64(DiffAllocFloor), want: u64(0)},
+		{name: "above jitter floor", got: u64(DiffAllocFloor + 1), want: u64(0), wantErr: "allocs/op"},
+		{name: "within proportional headroom", got: u64(2200), want: u64(2000)},
+		{name: "regression", got: u64(2400), want: u64(2000), wantErr: "allocs/op 2400 exceeds"},
+		{name: "baseline unmeasured ignores fresh", got: u64(9999), want: nil},
+		{name: "fresh unmeasured fails", got: nil, want: u64(5), wantErr: "rerun with -benchmem"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fresh, base := benchPair(tc.got, tc.want)
+			err := fresh.DiffAgainst(base)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected diff failure: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestBenchFileMarksBenchmemFromEntries(t *testing.T) {
+	// paperscale records allocs regardless of Options.Benchmem; the file
+	// marker must follow the entries so DiffAgainst treats it as measured.
+	s := &Series{
+		Experiment: "paperscale",
+		Points: []Point{{Label: "arena", Results: []SolverResult{
+			{Name: "TPG", Score: 1, LatencySeconds: []float64{0.01}, Allocs: []uint64{3}},
+		}}},
+	}
+	b := s.BenchFile(Options{Rounds: 1})
+	if !b.Benchmem {
+		t.Error("Benchmem marker not derived from entries")
+	}
+	if len(b.Entries) != 1 || b.Entries[0].AllocsPerOp == nil || *b.Entries[0].AllocsPerOp != 3 {
+		t.Errorf("entries: %+v", b.Entries)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -35,6 +36,26 @@ type SolverResult struct {
 	// LatencySeconds holds every per-round solve time, so the bench JSON
 	// can report exact p50/p95 rather than bucket estimates.
 	LatencySeconds []float64
+	// Allocs holds each round's heap allocation count during the solve
+	// (runtime Mallocs delta). Recorded only under Options.Benchmem.
+	Allocs []uint64
+}
+
+// AllocsPerOp reduces the recorded per-round allocation counts to the
+// steady-state figure: the minimum over rounds, because the first solve on
+// a fresh arena pays its growth and later rounds show the reusable cost.
+// ok is false when Benchmem was off and nothing was recorded.
+func (r SolverResult) AllocsPerOp() (n uint64, ok bool) {
+	if len(r.Allocs) == 0 {
+		return 0, false
+	}
+	n = r.Allocs[0]
+	for _, v := range r.Allocs[1:] {
+		if v < n {
+			n = v
+		}
+	}
+	return n, true
 }
 
 // Point is one x-axis value of a figure.
@@ -84,6 +105,16 @@ type Options struct {
 	// only the persistent-engine mode, skipping the from-scratch baseline
 	// and its bitwise comparison — an engine-only timing run.
 	Incremental bool
+	// Arena gives every arena-capable solver (assign.ArenaHolder) one
+	// persistent scratch arena per solver name, reused across the rounds of
+	// each sweep point, so the experiment measures the steady-state
+	// allocation-free solve path instead of cold throwaway scratch.
+	// Output-preserving: arenas never change scores.
+	Arena bool
+	// Benchmem records each solve's heap allocation count (Mallocs delta
+	// around the solve, read outside the timed window) into
+	// SolverResult.Allocs, so bench JSON can carry and gate allocs/op.
+	Benchmem bool
 }
 
 // parallelize wraps s in the decomposing decorator when Parallel is set;
@@ -175,6 +206,14 @@ const ExpAnytime = "anytime"
 // property of the problem, not of one generator.
 const ExpSources = "sources"
 
+// ExpPaperScale is an extra experiment pinning the paper's default grid
+// (Table II: m = 1000, n = 500 at Scale 1) as a latency and allocation
+// baseline. The same instances are solved twice — point "alloc" with
+// throwaway per-solve scratch and point "arena" with persistent per-solver
+// arenas — so one committed bench file records both the bitwise-equal
+// scores (arenas must not change output) and the steady-state latency win.
+const ExpPaperScale = "paperscale"
+
 // AllExperiments lists every experiment name in figure order.
 func AllExperiments() []string {
 	return []string{ExpCapacity, ExpSpeed, ExpRadius, ExpDeadline, ExpEpsilon, ExpWorkers, ExpTasks}
@@ -182,7 +221,7 @@ func AllExperiments() []string {
 
 // ExtraExperiments lists experiments beyond the paper's figures.
 func ExtraExperiments() []string {
-	return []string{ExpDistribution, ExpOptGap, ExpAnytime, ExpSources, ExpIncremental}
+	return []string{ExpDistribution, ExpOptGap, ExpAnytime, ExpSources, ExpPaperScale, ExpIncremental}
 }
 
 // Run executes the named experiment.
@@ -203,6 +242,8 @@ func Run(ctx context.Context, name string, opt Options) (*Series, error) {
 		return runAnytime(ctx, opt)
 	case ExpSources:
 		return runSources(ctx, opt)
+	case ExpPaperScale:
+		return runPaperScale(ctx, opt)
 	case ExpShards:
 		return runShards(ctx, opt)
 	case ExpIncremental:
@@ -222,6 +263,13 @@ func sweepPoint(ctx context.Context, label string, opt Options, mk instanceMaker
 	for _, name := range opt.Solvers {
 		agg[name] = &SolverResult{Name: name}
 	}
+	// Under Options.Arena each solver name keeps one scratch arena for the
+	// whole sweep point: solvers are rebuilt every round (seed hygiene), but
+	// the arena persists so rounds ≥ 2 run the allocation-free path.
+	var arenas map[string]*assign.Arena
+	if opt.Arena {
+		arenas = make(map[string]*assign.Arena, len(opt.Solvers))
+	}
 	for round := 0; round < opt.Rounds; round++ {
 		if ctx.Err() != nil {
 			return pt, ctx.Err()
@@ -236,7 +284,23 @@ func sweepPoint(ctx context.Context, label string, opt Options, mk instanceMaker
 			if err != nil {
 				return pt, err
 			}
+			if opt.Arena {
+				// Attach before decoration so the arena lands on the raw
+				// solver; Parallel forks manage their own pool arenas.
+				if h, ok := solver.(assign.ArenaHolder); ok {
+					ar := arenas[name]
+					if ar == nil {
+						ar = assign.NewArena()
+						arenas[name] = ar
+					}
+					h.SetArena(ar)
+				}
+			}
 			solver = assign.Instrument(opt.decorate(solver), opt.Metrics)
+			var m0 runtime.MemStats
+			if opt.Benchmem {
+				runtime.ReadMemStats(&m0)
+			}
 			start := time.Now()
 			a, err := solver.Solve(ctx, in)
 			elapsed := time.Since(start).Seconds()
@@ -244,6 +308,11 @@ func sweepPoint(ctx context.Context, label string, opt Options, mk instanceMaker
 				return pt, fmt.Errorf("harness: %s round %d: %w", name, round, err)
 			}
 			r := agg[name]
+			if opt.Benchmem {
+				var m1 runtime.MemStats
+				runtime.ReadMemStats(&m1)
+				r.Allocs = append(r.Allocs, m1.Mallocs-m0.Mallocs)
+			}
 			r.Score += a.TotalScore(in)
 			r.BatchSeconds += elapsed / float64(opt.Rounds)
 			r.LatencySeconds = append(r.LatencySeconds, elapsed)
@@ -536,6 +605,36 @@ func runSources(ctx context.Context, opt Options) (*Series, error) {
 	return series, nil
 }
 
+// runPaperScale solves the same paper-default instances in both scratch
+// modes. The "alloc" point runs every solver with throwaway per-solve
+// scratch; the "arena" point reruns the identical rounds with persistent
+// arenas (and always records Benchmem, so the committed file carries the
+// steady-state allocs/op even when the flag is off). Identical scores
+// between the two points are the output-preservation invariant made
+// visible in the bench trajectory.
+func runPaperScale(ctx context.Context, opt Options) (*Series, error) {
+	base := workload.Default()
+	base.NumWorkers = opt.scaled(base.NumWorkers)
+	base.NumTasks = opt.scaled(base.NumTasks)
+	series := &Series{Experiment: ExpPaperScale, Figure: "Extra", XLabel: "scratch mode"}
+	for _, mode := range []struct {
+		label string
+		arena bool
+	}{{"alloc", false}, {"arena", true}} {
+		o := opt
+		o.Arena = mode.arena
+		o.Benchmem = true
+		pt, err := sweepPoint(ctx, mode.label, o, func(round int) (*model.Instance, error) {
+			return base.WithSeed(opt.Seed+int64(round)).Instance(float64(round), model.IndexRTree)
+		})
+		if err != nil {
+			return series, err
+		}
+		series.Points = append(series.Points, pt)
+	}
+	return series, nil
+}
+
 // runAnytime traces GT's per-round score profile from a random start.
 func runAnytime(ctx context.Context, opt Options) (*Series, error) {
 	base := workload.Default()
@@ -674,9 +773,33 @@ func (s *Series) Render(w io.Writer) error {
 		func(p Point) string { return fmt.Sprintf("%.1f", p.Upper) }, "UPPER"); err != nil {
 		return err
 	}
-	return write("batch running time (s)",
+	if err := write("batch running time (s)",
 		func(r SolverResult) string { return fmt.Sprintf("%.4f", r.BatchSeconds) },
-		nil, "")
+		nil, ""); err != nil {
+		return err
+	}
+	if !s.hasAllocs() {
+		return nil
+	}
+	return write("steady-state allocs per solve",
+		func(r SolverResult) string {
+			if n, ok := r.AllocsPerOp(); ok {
+				return fmt.Sprintf("%d", n)
+			}
+			return "-"
+		}, nil, "")
+}
+
+// hasAllocs reports whether any result recorded allocation counts.
+func (s *Series) hasAllocs() bool {
+	for _, pt := range s.Points {
+		for _, r := range pt.Results {
+			if len(r.Allocs) > 0 {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // CSV writes the series as one CSV block per measure.
@@ -709,6 +832,23 @@ func (s *Series) CSV(w io.Writer) error {
 			fmt.Fprintf(&b, ",%.6f", byName[n].BatchSeconds)
 		}
 		fmt.Fprintf(&b, ",\n")
+	}
+	if s.hasAllocs() {
+		for _, pt := range s.Points {
+			byName := map[string]SolverResult{}
+			for _, r := range pt.Results {
+				byName[r.Name] = r
+			}
+			fmt.Fprintf(&b, "%s,allocs,%s", s.Experiment, pt.Label)
+			for _, n := range names {
+				if v, ok := byName[n].AllocsPerOp(); ok {
+					fmt.Fprintf(&b, ",%d", v)
+				} else {
+					fmt.Fprintf(&b, ",")
+				}
+			}
+			fmt.Fprintf(&b, ",\n")
+		}
 	}
 	_, err := io.WriteString(w, b.String())
 	return err

@@ -152,6 +152,13 @@ type Engine struct {
 	records map[int]*record
 	warm    *assign.Warm
 	pred    *predictor
+	// arena is the engine-owned solver scratch, attached to every
+	// per-component fork in Solve. Components are solved serially and each
+	// arena-owned result is lifted into the round assignment before the
+	// next component recycles the memory, so one arena serves the whole
+	// engine lifetime — steady-state rounds allocate nothing in the
+	// solver.
+	arena *assign.Arena
 
 	// Per-round scratch, reused across rounds.
 	in        model.Instance
@@ -527,6 +534,15 @@ func (e *Engine) Solve(ctx context.Context, solver assign.Solver) (*model.Assign
 			// Mirror assign.Parallel's per-component seed derivation so
 			// seed-taking solvers see the same seeds either way.
 			s = f.Fork(assign.ComponentSeed(e.cfg.Seed, c.Key()))
+			// Forks are throwaway, so hand them the engine's arena (solves
+			// are serial and each result is lifted before the next solve).
+			// A non-Forker solver keeps whatever arena its owner set.
+			if h, ok := s.(assign.ArenaHolder); ok {
+				if e.arena == nil {
+					e.arena = assign.NewArena()
+				}
+				h.SetArena(e.arena)
+			}
 		}
 		sa, err := assign.SolveMaybeWarm(ctx, s, sub, e.warm)
 		if err != nil {

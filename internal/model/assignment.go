@@ -30,6 +30,31 @@ func NewAssignment(in *Instance) *Assignment {
 	return a
 }
 
+// Reset empties the assignment for reuse over in, keeping the capacity of
+// both the header slices and the per-task worker lists. It is the
+// allocation-free counterpart of NewAssignment for callers (the solver
+// scratch arena) that recycle one Assignment across solves; the only
+// observable difference is that previously-used task lists come back as
+// zero-length slices rather than nil, which no consumer distinguishes.
+func (a *Assignment) Reset(in *Instance) {
+	if cap(a.WorkerTask) < len(in.Workers) {
+		a.WorkerTask = make([]int, len(in.Workers))
+	}
+	a.WorkerTask = a.WorkerTask[:len(in.Workers)]
+	for i := range a.WorkerTask {
+		a.WorkerTask[i] = Unassigned
+	}
+	if cap(a.TaskWorkers) < len(in.Tasks) {
+		grown := make([][]int, len(in.Tasks))
+		copy(grown, a.TaskWorkers)
+		a.TaskWorkers = grown
+	}
+	a.TaskWorkers = a.TaskWorkers[:len(in.Tasks)]
+	for t := range a.TaskWorkers {
+		a.TaskWorkers[t] = a.TaskWorkers[t][:0]
+	}
+}
+
 // Assign pairs worker w with task t. It panics if w is already assigned —
 // use Move to change tasks.
 func (a *Assignment) Assign(w, t int) {

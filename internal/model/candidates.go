@@ -14,7 +14,8 @@ import (
 type IndexKind int
 
 const (
-	// IndexRTree uses an STR-bulk-loaded R-tree (the paper's choice).
+	// IndexRTree uses an STR-bulk-loaded packed R*-tree (the paper's
+	// choice of index; see rtree.RStar for the layout).
 	IndexRTree IndexKind = iota
 	// IndexGrid uses a uniform grid (ablation alternative).
 	IndexGrid
@@ -52,7 +53,10 @@ func (in *Instance) BuildCandidates(kind IndexKind) {
 		for j, t := range in.Tasks {
 			items[j] = rtree.Item{Rect: geo.PointRect(t.Loc), ID: j}
 		}
-		tr := rtree.Bulk(items, 0)
+		// The packed R*-tree returns the same ID set as the boxed tree
+		// (both exact range queries); the sort below makes the candidate
+		// lists — and so every downstream solver decision — identical.
+		tr := rtree.BulkRStar(items, 0)
 		query = tr.SearchCircle
 	case IndexGrid:
 		g := grid.ForCount(nT)

@@ -91,6 +91,17 @@ func (in *Instance) NewGroupScore(capacity int) *GroupScore {
 	return &GroupScore{in: in, capacity: capacity}
 }
 
+// Reset re-points the accumulator at a (possibly different) instance and
+// capacity and empties it, keeping the member slice's storage. It exists so
+// the solver scratch arena can recycle GroupScores across solves without
+// allocating.
+func (g *GroupScore) Reset(in *Instance, capacity int) {
+	g.in = in
+	g.capacity = capacity
+	g.members = g.members[:0]
+	g.pairSum = 0
+}
+
 // Members returns the current member slice (not a copy; do not mutate).
 func (g *GroupScore) Members() []int { return g.members }
 

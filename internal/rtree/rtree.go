@@ -1,7 +1,10 @@
-// Package rtree implements an in-memory R-tree (Guttman 1984) with quadratic
-// node splitting, deletion with reinsertion, Sort-Tile-Recursive (STR) bulk
-// loading, and the three queries the CA-SC framework needs: rectangle range
-// search, circular range search (worker working areas), and k-nearest
+// Package rtree implements two in-memory spatial indexes: Tree, an R-tree
+// (Guttman 1984) with quadratic node splitting, deletion with reinsertion,
+// and Sort-Tile-Recursive (STR) bulk loading; and RStar, an R*-tree
+// (Beckmann et al. 1990) over a packed flat-slice node arena — the
+// production index of BuildCandidates. Both answer the queries the CA-SC
+// framework needs: rectangle range search and circular range search (worker
+// working areas); Tree additionally supports deletion and k-nearest
 // neighbours.
 //
 // The batch-based framework of the paper (§III, Algorithm 1 lines 4-5)
