@@ -1,6 +1,7 @@
 // Command casc-lint runs the CASC static-analysis suite (internal/analysis)
-// over the module: five stdlib-only analyzers enforcing the determinism,
-// cancellation and metrics invariants the solver stack depends on.
+// over the module: ten stdlib-only analyzers enforcing the determinism,
+// cancellation, memory-ownership and metrics invariants the solver stack
+// depends on.
 //
 // Usage:
 //
@@ -14,14 +15,16 @@
 // Findings are suppressed inline with a justified comment on the flagged
 // line or the line above:
 //
-//	//casclint:ignore <rule> <reason>
+//	//casclint:ignore <rule>[,<rule>] <reason>
 //
-// The reason is mandatory; a bare suppression is itself reported.
+// The reason is mandatory; a bare suppression is itself reported, as is a
+// suppression whose rule never fires on the covered lines.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -30,19 +33,27 @@ import (
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
-	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON")
-	rootFlag := flag.String("root", "", "module root (default: nearest go.mod above the working directory)")
-	rulesFlag := flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
-	list := flag.Bool("list", false, "list the rules and exit")
-	flag.Parse()
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("casc-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON")
+	rootFlag := fs.String("root", "", "module root (default: nearest go.mod above the working directory)")
+	rulesFlag := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	list := fs.Bool("list", false, "list the rules and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "casc-lint:", err)
+		return 2
+	}
 
 	if *list {
 		for _, r := range analysis.AllRules() {
-			fmt.Printf("%-12s %s\n", r.Name, r.Doc)
+			fmt.Fprintf(stdout, "%-12s %s\n", r.Name, r.Doc)
 		}
 		return 0
 	}
@@ -72,7 +83,7 @@ func run() int {
 		return fail(err)
 	}
 	diags := analysis.Run(pkgs, analysis.Options{Rules: rules})
-	diags = filterPatterns(root, diags, flag.Args())
+	diags = filterPatterns(root, diags, fs.Args())
 	for i := range diags {
 		if rel, err := filepath.Rel(root, diags[i].File); err == nil && !strings.HasPrefix(rel, "..") {
 			diags[i].File = rel
@@ -80,26 +91,21 @@ func run() int {
 	}
 
 	if *jsonOut {
-		if err := analysis.WriteJSON(os.Stdout, diags); err != nil {
+		if err := analysis.WriteJSON(stdout, diags); err != nil {
 			return fail(err)
 		}
 	} else {
 		for _, d := range diags {
-			fmt.Println(d)
+			fmt.Fprintln(stdout, d)
 		}
 	}
 	if len(diags) > 0 {
 		if !*jsonOut {
-			fmt.Fprintf(os.Stderr, "casc-lint: %d finding(s)\n", len(diags))
+			fmt.Fprintf(stderr, "casc-lint: %d finding(s)\n", len(diags))
 		}
 		return 1
 	}
 	return 0
-}
-
-func fail(err error) int {
-	fmt.Fprintln(os.Stderr, "casc-lint:", err)
-	return 2
 }
 
 func selectRules(spec string) ([]*analysis.Rule, error) {
@@ -114,11 +120,22 @@ func selectRules(spec string) ([]*analysis.Rule, error) {
 	for _, name := range strings.Split(spec, ",") {
 		r, ok := byName[strings.TrimSpace(name)]
 		if !ok {
-			return nil, fmt.Errorf("unknown rule %q (have %s)", name, strings.Join(analysis.RuleNames(), ", "))
+			return nil, fmt.Errorf("unknown rule %q; the suite has:\n%s", name, ruleCatalog())
 		}
 		rules = append(rules, r)
 	}
 	return rules, nil
+}
+
+// ruleCatalog renders every rule's name and one-line doc, one per line —
+// the unknown-rule error shows what each candidate actually checks rather
+// than a bare name list.
+func ruleCatalog() string {
+	var b strings.Builder
+	for _, r := range analysis.AllRules() {
+		fmt.Fprintf(&b, "  %-12s %s\n", r.Name, r.Doc)
+	}
+	return strings.TrimRight(b.String(), "\n")
 }
 
 // filterPatterns keeps diagnostics under the requested package patterns.

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"casc/internal/analysis"
+)
+
+// TestListFlag verifies -list prints every rule with its one-line doc.
+func TestListFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("run -list: exit %d, stderr %q", code, errb.String())
+	}
+	for _, r := range analysis.AllRules() {
+		if !strings.Contains(out.String(), r.Name) {
+			t.Errorf("-list output missing rule name %q", r.Name)
+		}
+		if !strings.Contains(out.String(), r.Doc) {
+			t.Errorf("-list output missing doc for %q", r.Name)
+		}
+	}
+}
+
+// TestUnknownRule verifies the -rules error names every rule WITH its doc
+// string, so the operator can pick the right one without a second command.
+func TestUnknownRule(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-rules", "nosuchrule"}, &out, &errb); code != 2 {
+		t.Fatalf("run -rules nosuchrule: exit %d, want 2", code)
+	}
+	msg := errb.String()
+	if !strings.Contains(msg, `unknown rule "nosuchrule"`) {
+		t.Fatalf("stderr %q does not name the unknown rule", msg)
+	}
+	for _, r := range analysis.AllRules() {
+		if !strings.Contains(msg, r.Name) {
+			t.Errorf("unknown-rule error missing rule name %q", r.Name)
+		}
+		if !strings.Contains(msg, r.Doc) {
+			t.Errorf("unknown-rule error missing doc for %q", r.Name)
+		}
+	}
+}
+
+// TestRulesSubsetJSON runs one real subset over the module and checks the
+// -json document parses into the stable schema. The tree is lint-clean, so
+// the run must exit 0 with an empty (but present) diagnostics array.
+func TestRulesSubsetJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module")
+	}
+	var out, errb bytes.Buffer
+	code := run([]string{"-rules", "ctxloop,lockbalance", "-root", "../..", "-json"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q, stdout %q", code, errb.String(), out.String())
+	}
+	var rep struct {
+		Version     int                   `json:"version"`
+		Diagnostics []analysis.Diagnostic `json:"diagnostics"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("parsing -json output: %v", err)
+	}
+	if rep.Version != 1 {
+		t.Fatalf("schema version %d, want 1", rep.Version)
+	}
+	if rep.Diagnostics == nil {
+		t.Fatal("diagnostics must marshal as an array, not null")
+	}
+	if len(rep.Diagnostics) != 0 {
+		t.Fatalf("tree should be clean under ctxloop+lockbalance, got %v", rep.Diagnostics)
+	}
+}

@@ -71,6 +71,10 @@ func AllRules() []*Rule {
 		newMetricName(),
 		newDroppedErr(),
 		newHotAlloc(),
+		newArenaEscape(),
+		newLockBalance(),
+		newCtxProp(),
+		newFloatDet(),
 	}
 }
 
@@ -128,11 +132,16 @@ func Run(pkgs []*Package, opts Options) []Diagnostic {
 		rules = AllRules()
 	}
 	var diags []Diagnostic
+	ran := make(map[*Package]map[string]bool)
 	for _, rule := range rules {
 		for _, p := range pkgs {
 			if !opts.IgnoreScope && !rule.applies(p.Path) {
 				continue
 			}
+			if ran[p] == nil {
+				ran[p] = make(map[string]bool)
+			}
+			ran[p][rule.Name] = true
 			rule.Check(p, &Reporter{pkg: p, rule: rule.Name, out: &diags})
 		}
 		if rule.Finish != nil {
@@ -148,7 +157,7 @@ func Run(pkgs []*Package, opts Options) []Diagnostic {
 			})
 		}
 	}
-	diags = applySuppressions(pkgs, diags)
+	diags = applySuppressions(pkgs, diags, ran)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.File != b.File {
@@ -168,9 +177,9 @@ func Run(pkgs []*Package, opts Options) []Diagnostic {
 	return diags
 }
 
-// suppressionRE matches //casclint:ignore <rule> <reason>. The reason is
-// mandatory: a suppression without a recorded justification is itself a
-// finding.
+// suppressionRE matches //casclint:ignore <rule>[,<rule>...] <reason>.
+// The reason is mandatory: a suppression without a recorded justification
+// is itself a finding.
 var suppressionRE = regexp.MustCompile(`^//casclint:ignore(?:\s+(\S+))?\s*(.*)$`)
 
 type suppressKey struct {
@@ -179,11 +188,33 @@ type suppressKey struct {
 	rule string
 }
 
+// suppRec is one (comment, rule) suppression instance, tracked so that a
+// suppression whose rule never fires on its lines is itself reported —
+// stale suppressions otherwise rot into silent blind spots.
+type suppRec struct {
+	file   string
+	line   int // comment line
+	column int
+	rule   string
+	live   bool // the rule actually ran on this package this run
+	used   bool
+}
+
 // applySuppressions drops diagnostics covered by a well-formed
 // //casclint:ignore comment on the same line or the line directly above,
-// and reports malformed suppression comments under SuppressRule.
-func applySuppressions(pkgs []*Package, diags []Diagnostic) []Diagnostic {
-	index := make(map[suppressKey]bool)
+// and reports under SuppressRule: malformed suppression comments,
+// suppressions naming rules the suite does not have, and unused
+// suppressions (the named rule ran on the package but fired nothing on the
+// covered lines). ran maps each package to the rules that checked it; a
+// suppression for a rule that did not run is left alone, not declared
+// unused.
+func applySuppressions(pkgs []*Package, diags []Diagnostic, ran map[*Package]map[string]bool) []Diagnostic {
+	known := make(map[string]bool)
+	for _, r := range AllRules() {
+		known[r.Name] = true
+	}
+	var recs []*suppRec
+	cover := make(map[suppressKey][]*suppRec)
 	var extra []Diagnostic
 	for _, p := range pkgs {
 		for _, f := range p.Files {
@@ -194,29 +225,57 @@ func applySuppressions(pkgs []*Package, diags []Diagnostic) []Diagnostic {
 						continue
 					}
 					pos := p.Fset.Position(c.Pos())
-					rule, reason := m[1], strings.TrimSpace(m[2])
-					if rule == "" || reason == "" {
+					rules, reason := m[1], strings.TrimSpace(m[2])
+					if rules == "" || reason == "" {
 						extra = append(extra, Diagnostic{
 							Rule: SuppressRule, File: pos.Filename,
 							Line: pos.Line, Column: pos.Column,
-							Message: "malformed suppression: want //casclint:ignore <rule> <reason>",
+							Message: "malformed suppression: want //casclint:ignore <rule>[,<rule>] <reason>",
 						})
 						continue
 					}
-					// A suppression covers its own line (trailing comment)
-					// and the line below (own-line comment).
-					index[suppressKey{pos.Filename, pos.Line, rule}] = true
-					index[suppressKey{pos.Filename, pos.Line + 1, rule}] = true
+					for _, rule := range strings.Split(rules, ",") {
+						if !known[rule] {
+							extra = append(extra, Diagnostic{
+								Rule: SuppressRule, File: pos.Filename,
+								Line: pos.Line, Column: pos.Column,
+								Message: fmt.Sprintf("suppression names unknown rule %q", rule),
+							})
+							continue
+						}
+						rec := &suppRec{
+							file: pos.Filename, line: pos.Line, column: pos.Column,
+							rule: rule, live: ran[p][rule],
+						}
+						recs = append(recs, rec)
+						// A suppression covers its own line (trailing
+						// comment) and the line below (own-line comment).
+						cover[suppressKey{pos.Filename, pos.Line, rule}] = append(cover[suppressKey{pos.Filename, pos.Line, rule}], rec)
+						cover[suppressKey{pos.Filename, pos.Line + 1, rule}] = append(cover[suppressKey{pos.Filename, pos.Line + 1, rule}], rec)
+					}
 				}
 			}
 		}
 	}
 	kept := diags[:0]
 	for _, d := range diags {
-		if d.Rule != SuppressRule && index[suppressKey{d.File, d.Line, d.Rule}] {
-			continue
+		if d.Rule != SuppressRule {
+			if rs := cover[suppressKey{d.File, d.Line, d.Rule}]; len(rs) > 0 {
+				for _, r := range rs {
+					r.used = true
+				}
+				continue
+			}
 		}
 		kept = append(kept, d)
+	}
+	for _, r := range recs {
+		if r.live && !r.used {
+			extra = append(extra, Diagnostic{
+				Rule: SuppressRule, File: r.file, Line: r.line, Column: r.column,
+				Message: fmt.Sprintf("unused suppression: %s does not fire here; remove it", r.rule),
+			})
+		}
 	}
 	return append(kept, extra...)
 }

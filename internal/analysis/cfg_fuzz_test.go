@@ -1,0 +1,157 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// stmtGen derives a well-typed function body from a fuzz byte stream. The
+// grammar is shaped so exit stays reachable: terminators (return, panic,
+// break, continue) appear only inside if-bodies, loops are always
+// conditioned or range over a finite slice, and labels appear only on the
+// fixed labeled-loop template. goto is covered by unit tests instead.
+type stmtGen struct {
+	data   []byte
+	pos    int
+	labels int
+	accums int // emitted x-accumulating statements, checked against the CFG
+}
+
+func (g *stmtGen) next() (byte, bool) {
+	if g.pos >= len(g.data) {
+		return 0, false
+	}
+	b := g.data[g.pos]
+	g.pos++
+	return b, true
+}
+
+func (g *stmtGen) accum(buf *strings.Builder, pad string, kind byte) {
+	if kind%2 == 0 {
+		fmt.Fprintf(buf, "%sx++\n", pad)
+	} else {
+		fmt.Fprintf(buf, "%sx += 2\n", pad)
+	}
+	g.accums++
+}
+
+// body emits up to four statements at this nesting level.
+func (g *stmtGen) body(buf *strings.Builder, indent, depth, loopDepth int) {
+	pad := strings.Repeat("\t", indent)
+	for emitted := 0; emitted < 4; emitted++ {
+		b, ok := g.next()
+		if !ok {
+			return
+		}
+		kind := b % 8
+		if depth >= 3 && kind >= 2 {
+			kind = b % 2 // too deep: only plain statements
+		}
+		switch kind {
+		case 0, 1:
+			g.accum(buf, pad, kind)
+		case 2:
+			fmt.Fprintf(buf, "%sif x > 1 {\n", pad)
+			g.body(buf, indent+1, depth+1, loopDepth)
+			fmt.Fprintf(buf, "%s}\n", pad)
+		case 3:
+			// Terminator, guarded by an if so the fallthrough path lives on.
+			fmt.Fprintf(buf, "%sif x < 2 {\n%s\treturn x\n%s}\n", pad, pad, pad)
+		case 4:
+			if loopDepth > 0 {
+				fmt.Fprintf(buf, "%sif x > 3 {\n%s\tcontinue\n%s}\n", pad, pad, pad)
+			} else {
+				fmt.Fprintf(buf, "%sif x > 99 {\n%s\tpanic(\"fuzz\")\n%s}\n", pad, pad, pad)
+			}
+		case 5:
+			fmt.Fprintf(buf, "%sfor i := 0; i < n; i++ {\n", pad)
+			g.body(buf, indent+1, depth+1, loopDepth+1)
+			g.accum(buf, pad+"\t", b) // loop bodies are never empty
+			fmt.Fprintf(buf, "%s}\n", pad)
+		case 6:
+			fmt.Fprintf(buf, "%sfor range s {\n", pad)
+			g.body(buf, indent+1, depth+1, loopDepth+1)
+			g.accum(buf, pad+"\t", b)
+			fmt.Fprintf(buf, "%s}\n", pad)
+		case 7:
+			g.labels++
+			l := fmt.Sprintf("l%d", g.labels)
+			fmt.Fprintf(buf, "%s%s:\n", pad, l)
+			fmt.Fprintf(buf, "%sfor i := 0; i < n; i++ {\n", pad)
+			fmt.Fprintf(buf, "%s\tfor j := 0; j < n; j++ {\n", pad)
+			fmt.Fprintf(buf, "%s\t\tif x > 1 {\n%s\t\t\tbreak %s\n%s\t\t}\n", pad, pad, l, pad)
+			g.accum(buf, pad+"\t\t", b)
+			fmt.Fprintf(buf, "%s\t}\n", pad)
+			fmt.Fprintf(buf, "%s}\n", pad)
+		}
+	}
+}
+
+// FuzzCFG builds random well-typed function bodies and checks the CFG
+// invariants: single entry, consistent edges, dense indices (all via
+// CheckInvariants), exit reachable, return blocks edging to exit, and no
+// statement dropped or duplicated.
+func FuzzCFG(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add([]byte{7, 7, 7, 7})
+	f.Add([]byte{5, 2, 3, 4, 6, 4, 3, 2, 5, 0, 1})
+	f.Add([]byte{2, 2, 2, 2, 2, 2, 0, 3, 5, 5, 5, 6, 6, 6, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		gen := &stmtGen{data: data}
+		var body strings.Builder
+		gen.body(&body, 1, 0, 0)
+		src := "package p\n\nfunc f() int {\n" +
+			"\ts := []int{1, 2, 3}\n\tn := 3\n\tx := 0\n\t_ = s\n\t_ = n\n" +
+			body.String() +
+			"\treturn x\n}\n"
+
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, "fuzz.go", src, 0)
+		if err != nil {
+			t.Fatalf("generator produced unparsable code: %v\n%s", err, src)
+		}
+		conf := types.Config{}
+		if _, err := conf.Check("p", fset, []*ast.File{file}, nil); err != nil {
+			t.Fatalf("generator produced ill-typed code: %v\n%s", err, src)
+		}
+
+		fd := file.Decls[0].(*ast.FuncDecl)
+		g := BuildCFG(fd.Body)
+		if err := g.CheckInvariants(); err != nil {
+			t.Fatalf("invariants: %v\n%s", err, src)
+		}
+		reach := g.Reachable()
+		if !reach[g.Exit] {
+			t.Fatalf("exit unreachable (terminators are if-guarded, so it must be):\n%s", src)
+		}
+		for _, b := range g.Blocks {
+			if b.Returns() && !containsBlock(b.Succs, g.Exit) {
+				t.Fatalf("return block %d does not edge to exit:\n%s", b.Index, src)
+			}
+		}
+		// Every emitted x-accumulation appears in exactly one block.
+		got := countNodes(g, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.IncDecStmt:
+				id, ok := n.X.(*ast.Ident)
+				return ok && id.Name == "x"
+			case *ast.AssignStmt:
+				if n.Tok != token.ADD_ASSIGN || len(n.Lhs) != 1 {
+					return false
+				}
+				id, ok := n.Lhs[0].(*ast.Ident)
+				return ok && id.Name == "x"
+			}
+			return false
+		})
+		if got != gen.accums {
+			t.Fatalf("CFG holds %d x-accumulations, generator emitted %d:\n%s", got, gen.accums, src)
+		}
+	})
+}

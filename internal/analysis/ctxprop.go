@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// newCtxProp builds the ctxprop rule, the interprocedural extension of
+// ctxloop. ctxloop proves every solver loop polls its ctx; that guarantee
+// is void if a caller hands the loop a context that can never be
+// cancelled. ctxprop flags call sites that pass context.Background() or
+// context.TODO() to a callee that loops — directly, one call level down
+// (the call-graph summary), or by the Solve/SolveWarm contract — when the
+// call is on a solve path. The fix is to propagate the caller's ctx,
+// threading a ctx parameter through the caller first if it has none.
+//
+// Candidates are collected per package in Check; the verdict needs the
+// whole call graph (the callee may live in another package), so findings
+// are emitted from Finish.
+func newCtxProp() *Rule {
+	cg := NewCallGraph()
+	var cands []ctxPropCand
+	return &Rule{
+		Name: "ctxprop",
+		Doc: "looping solve-path callees must receive the caller's ctx, " +
+			"not context.Background() or context.TODO()",
+		Scope: []string{
+			"internal/assign",
+			"internal/resilience",
+			"internal/shard",
+			"internal/incremental",
+			"internal/batch",
+			"internal/server",
+		},
+		Check: func(p *Package, rep *Reporter) {
+			cg.AddPackage(p)
+			cands = append(cands, collectCtxPropCands(p)...)
+		},
+		Finish: func(report func(pos token.Position, format string, args ...any)) {
+			for _, c := range cands {
+				if !cg.LoopsWithin(c.callee) {
+					continue
+				}
+				if c.callerCtx {
+					report(c.pos, "%s loops on the solve path; pass the caller's ctx, not context.%s()",
+						c.callee.Name(), c.fresh)
+				} else {
+					report(c.pos, "%s loops on the solve path; thread a ctx parameter through %s instead of passing context.%s()",
+						c.callee.Name(), c.caller, c.fresh)
+				}
+			}
+		},
+	}
+}
+
+type ctxPropCand struct {
+	pos       token.Position
+	callee    *types.Func
+	caller    string // enclosing function name, for the no-ctx message
+	callerCtx bool   // enclosing function has a ctx parameter
+	fresh     string // "Background" or "TODO"
+}
+
+// collectCtxPropCands finds calls passing a freshly minted root context to
+// a callee that takes a ctx parameter. Whether the callee loops is decided
+// later, against the full call graph.
+func collectCtxPropCands(p *Package) []ctxPropCand {
+	var cands []ctxPropCand
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			callerCtx := contextParam(p, fd) != nil
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				for _, arg := range call.Args {
+					inner, ok := ast.Unparen(arg).(*ast.CallExpr)
+					if !ok {
+						continue
+					}
+					fresh := freshContextName(p, inner)
+					if fresh == "" {
+						continue
+					}
+					callee := calleeFunc(p, call)
+					if callee == nil {
+						continue
+					}
+					cands = append(cands, ctxPropCand{
+						pos:       p.Fset.Position(inner.Pos()),
+						callee:    callee,
+						caller:    fd.Name.Name,
+						callerCtx: callerCtx,
+						fresh:     fresh,
+					})
+				}
+				return true
+			})
+		}
+	}
+	return cands
+}
+
+// freshContextName reports which root-context constructor the call is —
+// "Background" or "TODO" — or "" if it is neither.
+func freshContextName(p *Package, call *ast.CallExpr) string {
+	fn := calleeFunc(p, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return ""
+	}
+	if name := fn.Name(); name == "Background" || name == "TODO" {
+		return name
+	}
+	return ""
+}

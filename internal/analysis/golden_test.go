@@ -113,6 +113,11 @@ func TestGolden(t *testing.T) {
 		// The incremental fixture exercises the three rules whose scope
 		// covers internal/incremental, shaped like the persistent engine.
 		{fixture: "incremental", rules: []string{"ctxloop", "seededrand", "maporder"}},
+		// The four CFG/dataflow rules (DESIGN.md §13).
+		{fixture: "arenaescape", rules: []string{"arenaescape"}},
+		{fixture: "lockbalance", rules: []string{"lockbalance"}},
+		{fixture: "ctxprop", rules: []string{"ctxprop"}},
+		{fixture: "floatdet", rules: []string{"floatdet"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.fixture, func(t *testing.T) {
@@ -133,17 +138,24 @@ func TestGolden(t *testing.T) {
 
 			wants := fixtureWants(t, dir)
 			if tc.fixture == "suppress" {
-				// The malformed (reason-less) suppression is reported under
-				// the casclint pseudo-rule at its own line; that line cannot
-				// carry a trailing `// want` without changing its meaning.
+				// Suppression-hygiene findings are reported under the
+				// casclint pseudo-rule at the comment's own line; those
+				// lines cannot carry a trailing `// want` without changing
+				// the comment they test.
 				path, err := filepath.Abs(filepath.Join(dir, "suppress.go"))
 				if err != nil {
 					t.Fatal(err)
 				}
-				wants[path] = append(wants[path], want{
-					rule: SuppressRule,
-					line: lineOf(t, path, "//casclint:ignore droppederr"),
-				})
+				for _, text := range []string{
+					"//casclint:ignore droppederr",                                            // malformed: no reason
+					"//casclint:ignore droppederr nothing below can fail",                     // unused
+					"//casclint:ignore nosuchrule suppressing a rule the suite does not have", // unknown rule
+				} {
+					wants[path] = append(wants[path], want{
+						rule: SuppressRule,
+						line: lineOf(t, path, text),
+					})
+				}
 			}
 
 			type key struct {

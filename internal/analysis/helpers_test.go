@@ -1,0 +1,201 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// failingImporter simulates a build where export data is missing: every
+// import errors, so go/types produces partial type information and the
+// helpers must degrade to nil results instead of panicking.
+type failingImporter struct{}
+
+func (failingImporter) Import(path string) (*types.Package, error) {
+	return nil, fmt.Errorf("export data missing for %q", path)
+}
+
+// typeCheckPartial parses src and type-checks it leniently (errors
+// collected, imports unavailable), returning a Package with whatever Info
+// the checker could fill in.
+func typeCheckPartial(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "h.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{
+		Importer: failingImporter{},
+		Error:    func(error) {}, // keep checking past the failed import
+	}
+	pkg, _ := conf.Check("sandbox", fset, []*ast.File{file}, info)
+	return &Package{Path: "sandbox", Fset: fset, Files: []*ast.File{file}, Pkg: pkg, Info: info}
+}
+
+const helpersSrc = `package sandbox
+
+import "mystery"
+
+type T struct{ n int }
+
+func (t *T) M() int { return t.n }
+
+func generic[E any](e E) E { return e }
+
+func use() {
+	var t T
+	_ = t.M()
+	mystery.Call()
+	f := func() {}
+	f()
+	_ = len("x")
+	_ = generic[int](1)
+	_ = int32(1)
+}
+`
+
+// callsOf returns the package's CallExprs in source order.
+func callsOf(p *Package) []*ast.CallExpr {
+	var calls []*ast.CallExpr
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if c, ok := n.(*ast.CallExpr); ok {
+				calls = append(calls, c)
+			}
+			return true
+		})
+	}
+	return calls
+}
+
+func TestCalleeFuncFallbacks(t *testing.T) {
+	p := typeCheckPartial(t, helpersSrc)
+	calls := callsOf(p)
+	if len(calls) != 6 {
+		t.Fatalf("found %d calls, want 6", len(calls))
+	}
+	wantName := []string{
+		"M",       // method via Selections
+		"",        // mystery.Call: import failed, no object — nil, no panic
+		"",        // call through a function-typed value
+		"",        // builtin len
+		"generic", // generic instantiation via the IndexExpr path
+		"",        // conversion int32(1)
+	}
+	for i, call := range calls {
+		fn := calleeFunc(p, call)
+		got := ""
+		if fn != nil {
+			got = fn.Name()
+		}
+		if got != wantName[i] {
+			t.Errorf("call %d: calleeFunc = %q, want %q", i, got, wantName[i])
+		}
+	}
+	if !isBuiltinCall(p, calls[3], "len") {
+		t.Error("len call not recognized as builtin")
+	}
+	if isBuiltinCall(p, calls[0], "len") {
+		t.Error("method call misidentified as builtin len")
+	}
+}
+
+// funcDeclNamed returns the package's FuncDecl with the given name.
+func funcDeclNamed(t *testing.T, p *Package, name string) *ast.FuncDecl {
+	t.Helper()
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+				return fd
+			}
+		}
+	}
+	t.Fatalf("no function %s", name)
+	return nil
+}
+
+func TestIdentObjDefsThenUses(t *testing.T) {
+	p := typeCheckPartial(t, helpersSrc)
+	// Scope to use()'s body: the method receiver also defines a t.
+	var defID, useID *ast.Ident
+	ast.Inspect(funcDeclNamed(t, p, "use").Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || id.Name != "t" {
+			return true
+		}
+		if p.Info.Defs[id] != nil && defID == nil {
+			defID = id
+		} else if p.Info.Uses[id] != nil {
+			useID = id
+		}
+		return true
+	})
+	if defID == nil || useID == nil {
+		t.Fatal("test source must define and use t")
+	}
+	dObj := identObj(p, defID)
+	uObj := identObj(p, useID)
+	if dObj == nil || uObj == nil || dObj != uObj {
+		t.Errorf("identObj(def)=%v identObj(use)=%v, want the same object", dObj, uObj)
+	}
+	if o := identObj(p, &ast.BasicLit{Kind: token.INT, Value: "1"}); o != nil {
+		t.Errorf("identObj(non-ident) = %v, want nil", o)
+	}
+}
+
+func TestMentionsObj(t *testing.T) {
+	p := typeCheckPartial(t, helpersSrc)
+	useFn := funcDeclNamed(t, p, "use")
+	var tObj types.Object
+	ast.Inspect(useFn.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == "t" && p.Info.Defs[id] != nil && tObj == nil {
+			tObj = p.Info.Defs[id]
+		}
+		return true
+	})
+	if tObj == nil {
+		t.Fatal("test source must declare t inside use")
+	}
+	if !mentionsObj(p, useFn.Body, tObj) {
+		t.Error("mentionsObj missed a direct use")
+	}
+	// The generic function never touches t.
+	if mentionsObj(p, funcDeclNamed(t, p, "generic").Body, tObj) {
+		t.Error("mentionsObj false positive in unrelated function")
+	}
+}
+
+func TestNamedRecv(t *testing.T) {
+	p := typeCheckPartial(t, helpersSrc)
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			fn, _ := p.Info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				t.Fatalf("no object for %s", fd.Name.Name)
+			}
+			got := namedRecv(fn)
+			want := ""
+			if fd.Name.Name == "M" {
+				want = "sandbox.T" // pointer receiver dereferenced
+			}
+			if got != want {
+				t.Errorf("namedRecv(%s) = %q, want %q", fd.Name.Name, got, want)
+			}
+		}
+	}
+}

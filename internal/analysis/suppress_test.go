@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseSuppressPkg builds a Package just rich enough for
+// applySuppressions: parsed files with comments, no type information.
+func parseSuppressPkg(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "supp.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return &Package{Path: "casc/internal/assign", Fset: fset, Files: []*ast.File{file}}
+}
+
+// srcLine returns the 1-based line of the first source line containing sub.
+func srcLine(t *testing.T, src, sub string) int {
+	t.Helper()
+	for i, line := range strings.Split(src, "\n") {
+		if strings.Contains(line, sub) {
+			return i + 1
+		}
+	}
+	t.Fatalf("no line contains %q", sub)
+	return 0
+}
+
+const suppressSrc = `package s
+
+func a() int {
+	return 1 //casclint:ignore maporder trailing comment still covers this line
+}
+
+//casclint:ignore	seededrand	tab-separated fields parse the same
+func b() {}
+
+//casclint:ignore maporder,seededrand one comment may cover several rules
+func c() {}
+
+//casclint:ignore maporder
+func d() {}
+
+//casclint:ignore maporder this one covers nothing and must be reported
+func e() {}
+
+//casclint:ignore ctxloop rule did not run, so unused cannot be decided
+func g() {}
+`
+
+func suppressDiag(rule string, line int) Diagnostic {
+	return Diagnostic{Rule: rule, File: "supp.go", Line: line, Column: 2, Message: "x"}
+}
+
+func TestSuppressionParsingEdgeCases(t *testing.T) {
+	p := parseSuppressPkg(t, suppressSrc)
+	ran := map[*Package]map[string]bool{p: {"maporder": true, "seededrand": true}}
+	survivor := suppressDiag("maporder", srcLine(t, suppressSrc, "func d()"))
+	survivor.Message = "survives"
+	in := []Diagnostic{
+		suppressDiag("maporder", srcLine(t, suppressSrc, "trailing comment")), // same line as the comment
+		suppressDiag("seededrand", srcLine(t, suppressSrc, "func b()")),       // line below tab-separated comment
+		suppressDiag("maporder", srcLine(t, suppressSrc, "func c()")),         // multi-rule comment, first rule
+		suppressDiag("seededrand", srcLine(t, suppressSrc, "func c()")),       // multi-rule comment, second rule
+		survivor, // under a malformed (reasonless) comment: must NOT be suppressed
+	}
+	out := applySuppressions([]*Package{p}, in, ran)
+
+	byRule := map[string][]Diagnostic{}
+	for _, d := range out {
+		byRule[d.Rule] = append(byRule[d.Rule], d)
+	}
+	if got := byRule["seededrand"]; len(got) != 0 {
+		t.Errorf("seededrand diagnostics survived suppression: %v", got)
+	}
+	if got := byRule["maporder"]; len(got) != 1 || got[0].Message != "survives" {
+		t.Errorf("malformed suppression must not suppress; maporder survivors = %v", got)
+	}
+
+	malformedLine := 0
+	for i, line := range strings.Split(suppressSrc, "\n") {
+		if strings.TrimSpace(line) == "//casclint:ignore maporder" {
+			malformedLine = i + 1
+		}
+	}
+	if malformedLine == 0 {
+		t.Fatal("self-check: malformed comment line not found")
+	}
+	wantCasclint := map[int]string{
+		malformedLine: "malformed",
+		srcLine(t, suppressSrc, "covers nothing"): "unused suppression",
+	}
+	gotCasclint := map[int]string{}
+	for _, d := range byRule[SuppressRule] {
+		gotCasclint[d.Line] = d.Message
+	}
+	for line, frag := range wantCasclint {
+		if !strings.Contains(gotCasclint[line], frag) {
+			t.Errorf("line %d: want casclint finding containing %q, got %q", line, frag, gotCasclint[line])
+		}
+	}
+	// The ctxloop suppression's rule never ran on this package: it neither
+	// suppresses anything nor counts as unused.
+	ctxLine := srcLine(t, suppressSrc, "rule did not run")
+	if msg, ok := gotCasclint[ctxLine]; ok {
+		t.Errorf("suppression for a rule that did not run was reported: %q", msg)
+	}
+	if len(byRule[SuppressRule]) != len(wantCasclint) {
+		t.Errorf("casclint findings = %v, want exactly %d", byRule[SuppressRule], len(wantCasclint))
+	}
+}
+
+func TestSuppressionUnknownRule(t *testing.T) {
+	src := "package s\n\n//casclint:ignore nosuchrule reason text here\nfunc a() {}\n"
+	p := parseSuppressPkg(t, src)
+	out := applySuppressions([]*Package{p}, nil, map[*Package]map[string]bool{})
+	if len(out) != 1 || out[0].Rule != SuppressRule ||
+		!strings.Contains(out[0].Message, `unknown rule "nosuchrule"`) {
+		t.Errorf("unknown-rule suppression not reported; got %v", out)
+	}
+}
+
+// TestSuppressionMultiRulePartialUse: with a two-rule comment where only
+// one rule fires, the fired rule's record is used but the idle rule's
+// record is unused — and must be reported.
+func TestSuppressionMultiRulePartialUse(t *testing.T) {
+	src := "package s\n\n//casclint:ignore maporder,seededrand only maporder fires below\nfunc a() {}\n"
+	p := parseSuppressPkg(t, src)
+	ran := map[*Package]map[string]bool{p: {"maporder": true, "seededrand": true}}
+	in := []Diagnostic{suppressDiag("maporder", srcLine(t, src, "func a()"))}
+	out := applySuppressions([]*Package{p}, in, ran)
+	if len(out) != 1 || out[0].Rule != SuppressRule ||
+		!strings.Contains(out[0].Message, "seededrand does not fire here") {
+		t.Errorf("idle rule of a multi-rule suppression must be reported unused; got %v", out)
+	}
+}

@@ -1,0 +1,126 @@
+// Package arenaescape is a casc-lint golden fixture for the arena
+// ownership contract: memory drawn from an Arena is valid only until the
+// next solve, so it must not be returned across the exported API, stored
+// in heap state, sent on channels, or captured by goroutines — unless it
+// went through Clone first.
+package arenaescape
+
+// Arena is the fixture's stand-in for assign.Arena: the rule keys on the
+// type name.
+type Arena struct {
+	ints []int
+}
+
+func NewArena() *Arena { return &Arena{} }
+
+func (a *Arena) intsFor(n int) []int {
+	if cap(a.ints) < n {
+		a.ints = make([]int, n) // ok: the arena owns its own buffers
+	}
+	return a.ints[:n]
+}
+
+// Ints hands out arena memory by contract — Arena's own accessors are
+// exempt from the exported-return check.
+func (a *Arena) Ints(n int) []int { return a.intsFor(n) }
+
+// Clone is the sanctioned escape hatch.
+func Clone(v []int) []int {
+	out := make([]int, len(v))
+	copy(out, v)
+	return out
+}
+
+// --- returns across the exported API ---
+
+func Leak(a *Arena) []int {
+	buf := a.intsFor(4)
+	return buf // want arenaescape
+}
+
+func CloneOK(a *Arena) []int {
+	return Clone(a.intsFor(4)) // ok: cloned before crossing the API
+}
+
+func grab(a *Arena) []int { return a.intsFor(8) } // ok: unexported
+
+func Reexport(a *Arena) []int {
+	return grab(a) // want arenaescape
+}
+
+// --- heap stores ---
+
+type cache struct{ last []int }
+
+func (c *cache) Stash(a *Arena) {
+	c.last = a.intsFor(4) // want arenaescape
+}
+
+var sticky []int
+
+func StoreGlobal(a *Arena) {
+	sticky = a.intsFor(2) // want arenaescape
+}
+
+func SumOK(a *Arena) int {
+	rows := make([][]int, 0, 2)
+	rows = append(rows, a.intsFor(2)) // ok: rows is frame-local
+	total := 0
+	for _, row := range rows {
+		for _, v := range row {
+			total += v
+		}
+	}
+	return total // ok: an int carries no reference into the arena
+}
+
+// --- one-level interprocedural: a callee that stores its parameter ---
+
+type sink struct{ kept []int }
+
+func (s *sink) keep(v []int) { s.kept = v }
+
+func Deposit(a *Arena, s *sink) {
+	s.keep(a.intsFor(2)) // want arenaescape
+}
+
+// --- channels and goroutines ---
+
+func Send(a *Arena, ch chan []int) {
+	ch <- a.intsFor(2) // want arenaescape
+}
+
+func Spawn(a *Arena) {
+	buf := a.intsFor(2)
+	go func() { // want arenaescape
+		_ = buf[0]
+	}()
+}
+
+// --- the Solve contract: results are arena-owned only when an arena is
+// wired up in the calling frame ---
+
+type Solver struct{ arena *Arena }
+
+func (s *Solver) SetArena(a *Arena) { s.arena = a }
+
+func (s *Solver) Solve(in []int) []int {
+	if s.arena == nil {
+		return append([]int(nil), in...)
+	}
+	buf := s.arena.intsFor(len(in))
+	copy(buf, in)
+	return buf // ok: Solve results are arena-owned by contract
+}
+
+func UseThrowaway(in []int) []int {
+	s := &Solver{}
+	return s.Solve(in) // ok: no arena wired in this frame
+}
+
+func UseWired(in []int) []int {
+	s := &Solver{}
+	s.SetArena(NewArena())
+	out := s.Solve(in)
+	return out // want arenaescape
+}

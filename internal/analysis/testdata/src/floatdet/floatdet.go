@@ -1,0 +1,95 @@
+// Package floatdet is a casc-lint golden fixture for order-dependent
+// float accumulation: float addition is not associative, so summing in
+// map-derived or goroutine-scheduling order breaks seed reproducibility.
+package floatdet
+
+import "sort"
+
+// MapOrderedSum accumulates over a slice that inherited map iteration
+// order and was never sorted.
+func MapOrderedSum(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	total := 0.0
+	for _, k := range keys {
+		total += m[k] // want floatdet
+	}
+	return total
+}
+
+// SortedSum re-canonicalizes the order first — clean.
+func SortedSum(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	total := 0.0
+	for _, k := range keys {
+		total += m[k] // ok: sorted above
+	}
+	return total
+}
+
+// HalfSorted sorts on one branch only; the unsorted path survives the
+// CFG join, so the accumulation is still order-dependent.
+func HalfSorted(m map[string]float64, canonical bool) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	if canonical {
+		sort.Strings(keys)
+	}
+	total := 0.0
+	for _, k := range keys {
+		total += m[k] // want floatdet
+	}
+	return total
+}
+
+// IntOrderOK: integer addition is associative; map-derived order cannot
+// change the sum.
+func IntOrderOK(m map[string]int) int {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	total := 0
+	for _, k := range keys {
+		total += m[k] // ok: int accumulation is order-independent
+	}
+	return total
+}
+
+// GoSum accumulates into a captured float from goroutines — the sum
+// depends on scheduling order even though every term arrives.
+func GoSum(vals []float64) float64 {
+	total := 0.0
+	done := make(chan struct{})
+	for _, v := range vals {
+		v := v
+		go func() {
+			total += v // want floatdet
+			done <- struct{}{}
+		}()
+	}
+	for range vals {
+		<-done
+	}
+	return total
+}
+
+// GoLocalOK accumulates into a goroutine-local variable — deterministic
+// per goroutine.
+func GoLocalOK(vals []float64, out chan float64) {
+	go func() {
+		local := 0.0
+		for _, v := range vals {
+			local += v // ok: goroutine-local accumulator
+		}
+		out <- local
+	}()
+}

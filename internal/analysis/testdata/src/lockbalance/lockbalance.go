@@ -1,0 +1,113 @@
+// Package lockbalance is a casc-lint golden fixture for lock/unlock
+// balance over the CFG: every acquisition must be released on every
+// panic-free path out of the function.
+package lockbalance
+
+import "sync"
+
+type registry struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	items map[string]int
+}
+
+// --- balanced: the shapes the real tree uses ---
+
+func (r *registry) GetDefer(k string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.items[k]
+}
+
+func (r *registry) PutManual(k string, v int) {
+	r.mu.Lock()
+	r.items[k] = v
+	r.mu.Unlock()
+}
+
+func (r *registry) SwapDeferClosure(k string, v int) int {
+	r.mu.Lock()
+	defer func() {
+		r.mu.Unlock()
+	}()
+	old := r.items[k]
+	r.items[k] = v
+	return old
+}
+
+func (r *registry) BothPaths(k string) (int, bool) {
+	r.mu.Lock()
+	v, ok := r.items[k]
+	if !ok {
+		r.mu.Unlock()
+		return 0, false
+	}
+	r.mu.Unlock()
+	return v, true
+}
+
+// --- leaks: a path returns with the lock held ---
+
+func (r *registry) LeakyGet(k string) (int, bool) {
+	r.mu.Lock() // want lockbalance
+	v, ok := r.items[k]
+	if !ok {
+		return 0, false
+	}
+	r.mu.Unlock()
+	return v, true
+}
+
+func (r *registry) LeakyRead(k string) int {
+	r.rw.RLock() // want lockbalance
+	if len(r.items) == 0 {
+		return -1
+	}
+	v := r.items[k]
+	r.rw.RUnlock()
+	return v
+}
+
+func (r *registry) BranchLeak(k string, flush bool) {
+	r.mu.Lock() // want lockbalance
+	if flush {
+		r.items = map[string]int{}
+		r.mu.Unlock()
+		return
+	}
+	delete(r.items, k)
+}
+
+// --- self-deadlock: write-locking a mutex that may already be held ---
+
+func (r *registry) DoubleLock() {
+	r.mu.Lock()
+	r.mu.Lock() // want lockbalance
+	r.mu.Unlock()
+	r.mu.Unlock()
+}
+
+// --- underflow: unlocking before any lock, in a function that does lock ---
+
+func (r *registry) UnlockFirst() {
+	r.mu.Unlock() // want lockbalance
+	r.mu.Lock()
+	r.mu.Unlock()
+}
+
+// --- out of intraprocedural scope: skipped, not flagged ---
+
+// unlockOnly releases a lock its caller acquired.
+func (r *registry) unlockOnly() {
+	r.mu.Unlock() // ok: caller-held helper
+}
+
+// TryPut uses conditional acquisition, which the balance lattice excludes.
+func (r *registry) TryPut(k string, v int) bool {
+	if !r.mu.TryLock() {
+		return false
+	}
+	r.items[k] = v
+	r.mu.Unlock()
+	return true
+}

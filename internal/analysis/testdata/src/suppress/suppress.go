@@ -26,3 +26,18 @@ func missingReason() {
 func unsuppressed() {
 	mayFail() // want droppederr
 }
+
+func unusedSuppression() {
+	//casclint:ignore droppederr nothing below can fail
+	_ = 1 + 1
+}
+
+func unknownRuleSuppression() {
+	//casclint:ignore nosuchrule suppressing a rule the suite does not have
+	mayFail() // want droppederr
+}
+
+func multiRuleSuppression() {
+	//casclint:ignore droppederr,maporder one comment may cover several rules
+	mayFail()
+}

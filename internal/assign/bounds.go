@@ -74,7 +74,7 @@ type EquilibriumQuality struct {
 
 // AnalyzeEquilibrium evaluates an assignment (typically a GT equilibrium)
 // against the Theorem V.2 bounds. nInit is the number of tasks the
-// initialization stage finished; pass InitTasksOf(in) when the assignment
+// initialization stage finished; pass InitTasksOf(ctx, in) when the assignment
 // came from a default GT run.
 func AnalyzeEquilibrium(in *model.Instance, a *model.Assignment, nInit int) EquilibriumQuality {
 	eq := EquilibriumQuality{
@@ -103,8 +103,9 @@ func AnalyzeEquilibrium(in *model.Instance, a *model.Assignment, nInit int) Equi
 
 // InitTasksOf runs the TPG initialization and returns N_init, the number of
 // tasks finished in the initialization stage of GT (Theorem V.2's N_init).
-func InitTasksOf(in *model.Instance) int {
-	a, err := NewTPG().Solve(context.Background(), in)
+// The caller's ctx bounds the embedded solve.
+func InitTasksOf(ctx context.Context, in *model.Instance) int {
+	a, err := NewTPG().Solve(ctx, in)
 	if err != nil {
 		return 0
 	}

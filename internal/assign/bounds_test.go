@@ -65,7 +65,7 @@ func TestAnalyzeEquilibrium(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	nInit := InitTasksOf(in)
+	nInit := InitTasksOf(context.Background(), in)
 	eq := AnalyzeEquilibrium(in, a, nInit)
 	if eq.Upper <= 0 {
 		t.Fatal("UPPER should be positive on a connected instance")
