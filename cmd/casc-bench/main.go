@@ -43,7 +43,7 @@ func main() {
 // in particular) survives error exits.
 func run() error {
 	var (
-		exp      = flag.String("exp", "all", "experiment: capacity|speed|radius|deadline|epsilon|workers|tasks|distribution|optgap|anytime|sources|paperscale|shards|incremental|all|extra|settings")
+		exp      = flag.String("exp", "all", "experiment: capacity|speed|radius|deadline|epsilon|workers|tasks|distribution|optgap|anytime|sources|paperscale|shards|incremental|scenario|all|extra|settings")
 		rounds   = flag.Int("rounds", workload.DefaultRounds, "rounds R per sweep point")
 		scale    = flag.Float64("scale", 1.0, "scale factor on m and n (1.0 = paper scale)")
 		seed     = flag.Int64("seed", 1, "random seed")

@@ -30,6 +30,7 @@ import (
 	"casc/internal/model"
 	"casc/internal/resilience"
 	"casc/internal/roadnet"
+	"casc/internal/scenario"
 	"casc/internal/shard"
 	"casc/internal/trace"
 	"casc/internal/viz"
@@ -59,6 +60,12 @@ func main() {
 		chFail   = flag.Float64("chaos-fail", 1.0, "with -chaos: probability a rung solve fails outright")
 		chLat    = flag.Duration("chaos-latency", 0, "with -chaos: max injected latency per rung solve")
 		chTrunc  = flag.Float64("chaos-trunc", 0, "with -chaos: probability a rung result is truncated to half its pairs")
+		scenRef  = flag.String("scenario", "", "run a discrete-event scenario: a built-in name or a JSON spec file (see docs/SCENARIOS.md); supersedes -m/-n/-rounds")
+		record   = flag.String("record", "", "with -scenario: write the generated arrival event stream (JSONL) to this file for later bitwise replay")
+		replayF  = flag.String("replay", "", "replay a recorded arrival event stream (JSONL) instead of generating one from a spec")
+		replaySv = flag.String("replay-solver", "", "with -scenario/-replay: dispatch with this solver instead of the spec's/recorded one")
+		cfK      = flag.Int("counterfactual-k", 0, "with -scenario/-replay: per round, also solve this many alternate solvers on the identical instance and report regret (-1: every spec alternate; monolithic only)")
+		reportF  = flag.String("report", "", "with -scenario/-replay: write the run report (score, SLO classes, counterfactual regret) as JSON to this file")
 	)
 	flag.Parse()
 
@@ -88,6 +95,32 @@ func main() {
 	kind, err := indexKind(*index)
 	if err != nil {
 		fatal(err)
+	}
+	if *scenRef != "" || *replayF != "" {
+		if *scenRef != "" && *replayF != "" {
+			fatal(fmt.Errorf("-scenario and -replay are mutually exclusive (a replay carries its own schedule)"))
+		}
+		if *data != "" {
+			fatal(fmt.Errorf("-scenario/-replay generate their own arrivals; drop -data"))
+		}
+		par := 0
+		if *parallel {
+			par = *workers
+			if par <= 0 {
+				par = -1
+			}
+		}
+		runScenario(ctx, scenarioArgs{
+			ref: *scenRef, replay: *replayF, record: *record, solver: *replaySv,
+			counterfactualK: *cfK, report: *reportF, tracePath: *traceF,
+			reg: reg, parallelism: par, budget: *budget, chaos: chaosCfg,
+			incremental: *incr, shards: *shards,
+		})
+		ladderSummary(reg)
+		return
+	}
+	if *record != "" || *replaySv != "" || *cfK != 0 || *reportF != "" {
+		fatal(fmt.Errorf("-record/-replay-solver/-counterfactual-k/-report need -scenario or -replay"))
 	}
 	if *rounds > 1 {
 		if *data != "" {
@@ -257,6 +290,132 @@ func simulate(ctx context.Context, solverName string, compare bool, m, n int, se
 		}
 		fmt.Printf("%-8s %12.2f %11.1f%% %10d %10d %12s\n",
 			name, res.TotalScore, frac, res.DispatchedTasks, res.ExpiredTasks, avg.Round(time.Microsecond))
+	}
+}
+
+// scenarioArgs bundles the -scenario/-replay driver inputs.
+type scenarioArgs struct {
+	ref             string // built-in name or spec file (-scenario)
+	replay          string // recorded event stream (-replay)
+	record          string
+	solver          string // override; "" keeps the spec's/recorded one
+	counterfactualK int
+	report          string
+	tracePath       string
+	reg             *metrics.Registry
+	parallelism     int
+	budget          time.Duration
+	chaos           *resilience.ChaosConfig
+	incremental     bool
+	shards          int
+}
+
+// runScenario drives the discrete-event scenario engine: generate (or
+// replay) the arrival plan, optionally record it, run it through the
+// monolithic or sharded pipeline, and print the score/SLO/regret report.
+func runScenario(ctx context.Context, a scenarioArgs) {
+	var (
+		plan *scenario.Plan
+		err  error
+	)
+	solverName := a.solver
+	if a.replay != "" {
+		meta, events, rerr := trace.ReadEventsFile(a.replay)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		plan, err = scenario.FromEvents(meta, events)
+		if err != nil {
+			fatal(err)
+		}
+		if solverName == "" {
+			solverName = meta.Solver
+		}
+		fmt.Printf("replaying %s: scenario %q, %d rounds, %d workers, %d tasks\n",
+			a.replay, meta.Scenario, plan.Rounds(), plan.NumWorkers(), plan.NumTasks())
+	} else {
+		spec, lerr := scenario.Load(a.ref)
+		if lerr != nil {
+			fatal(lerr)
+		}
+		plan, err = scenario.Generate(spec)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("scenario %q: %d rounds, %d workers, %d tasks (processes: %s/%s)\n",
+			spec.Name, plan.Rounds(), plan.NumWorkers(), plan.NumTasks(),
+			spec.Workers.Process, spec.Tasks.Process)
+	}
+	if solverName == "" {
+		solverName = plan.Spec.Solver
+	}
+	if a.record != "" {
+		f, cerr := os.Create(a.record)
+		if cerr != nil {
+			fatal(cerr)
+		}
+		meta, events := plan.Events(solverName)
+		if werr := trace.WriteEvents(f, meta, events); werr != nil {
+			_ = f.Close()
+			fatal(werr)
+		}
+		if cerr := f.Close(); cerr != nil {
+			fatal(cerr)
+		}
+		fmt.Printf("recorded %d events to %s\n", len(events)+1, a.record)
+	}
+	var tw *trace.Writer
+	if a.tracePath != "" {
+		f, cerr := os.Create(a.tracePath)
+		if cerr != nil {
+			fatal(cerr)
+		}
+		defer f.Close()
+		tw = trace.NewWriter(f)
+	}
+	rep, err := scenario.Run(ctx, scenario.RunConfig{
+		Plan:            plan,
+		Solver:          solverName,
+		CounterfactualK: a.counterfactualK,
+		Parallelism:     a.parallelism,
+		Budget:          a.budget,
+		Chaos:           a.chaos,
+		Incremental:     a.incremental,
+		Shards:          a.shards,
+		Trace:           tw,
+		Metrics:         a.reg,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	frac := 0.0
+	if rep.Upper > 0 {
+		frac = rep.Score / rep.Upper * 100
+	}
+	fmt.Printf("\n%-8s %12s %12s %10s %10s\n", "solver", "total score", "of UPPER", "dispatched", "expired")
+	fmt.Printf("%-8s %12.2f %11.1f%% %10d %10d\n", rep.Solver, rep.Score, frac, rep.Dispatched, rep.Expired)
+	if rep.Exhausted > 0 {
+		fmt.Printf("budget-exhausted rounds: %d\n", rep.Exhausted)
+	}
+	if rep.SLO != nil {
+		fmt.Printf("\nSLO classes:\n%s", rep.SLO.String())
+	}
+	if cf := rep.Counterfactual; cf != nil {
+		fmt.Printf("\ncounterfactuals (chosen %s): %d alternate solves, mean regret %.4f, max %.4f\n",
+			cf.Chosen, cf.Solves, cf.MeanRegret, cf.MaxRegret)
+		for _, alt := range cf.AltTotals {
+			fmt.Printf("  %-8s total score %12.2f (chosen total %.2f)\n", alt.Name, alt.Score, rep.Score)
+		}
+	}
+	if a.report != "" {
+		data, merr := json.MarshalIndent(rep, "", " ")
+		if merr != nil {
+			fatal(merr)
+		}
+		if werr := os.WriteFile(a.report, append(data, '\n'), 0o644); werr != nil {
+			fatal(werr)
+		}
+		fmt.Printf("wrote report to %s\n", a.report)
 	}
 }
 

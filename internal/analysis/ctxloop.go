@@ -20,8 +20,10 @@ func newCtxLoop() *Rule {
 		// decorator can never ignore cancellation in their Solve paths;
 		// internal/shard so cluster-tier Solve paths stay cancellable;
 		// internal/incremental so the engine's per-component Solve loop
-		// stays reactive under a round budget.
-		Scope: []string{"internal/assign", "internal/resilience", "internal/shard", "internal/incremental"},
+		// stays reactive under a round budget; internal/scenario so the
+		// counterfactual tracer's per-alternate Solve loop can be aborted
+		// mid-round.
+		Scope: []string{"internal/assign", "internal/resilience", "internal/shard", "internal/incremental", "internal/scenario"},
 		Check: checkCtxLoop,
 	}
 }

@@ -113,6 +113,10 @@ func TestGolden(t *testing.T) {
 		// The incremental fixture exercises the three rules whose scope
 		// covers internal/incremental, shaped like the persistent engine.
 		{fixture: "incremental", rules: []string{"ctxloop", "seededrand", "maporder"}},
+		// The scenario fixture exercises the two rules extended to cover
+		// internal/scenario, shaped like the counterfactual tracer and
+		// the arrival generator (DESIGN.md §14 determinism contract).
+		{fixture: "scenario", rules: []string{"ctxloop", "seededrand"}},
 		// The four CFG/dataflow rules (DESIGN.md §13).
 		{fixture: "arenaescape", rules: []string{"arenaescape"}},
 		{fixture: "lockbalance", rules: []string{"lockbalance"}},

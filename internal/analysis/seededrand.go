@@ -28,6 +28,10 @@ func newSeededRand() *Rule {
 			// from-scratch solve; ambient nondeterminism anywhere in its
 			// carry/re-solve path would break that equivalence silently.
 			"internal/incremental",
+			// The scenario engine's whole contract is that the event
+			// schedule is a pure function of (spec, seed) — DESIGN.md §14;
+			// one ambient draw or clock read and record/replay diverges.
+			"internal/scenario",
 		},
 		Check: checkSeededRand,
 	}

@@ -1,0 +1,66 @@
+// Package scenario is a casc-lint golden fixture mirroring the scenario
+// engine's obligations under the repo-wide invariants (DESIGN.md §14):
+// the counterfactual alternate-solve loop observes cancellation, and the
+// event schedule draws only from injected seeded sources — an ambient
+// rand call or clock read would make a recorded run unreplayable.
+package scenario
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+type alternate struct{ name string }
+
+func solveAlternate(alternate) float64 { return 0 }
+
+type Tracer struct {
+	alts []alternate
+}
+
+// Solve scores every alternate without ever observing ctx: a budgeted
+// round could not abort the counterfactual sweep.
+func (t *Tracer) Solve(ctx context.Context) float64 {
+	var best float64
+	for _, a := range t.alts { // want ctxloop
+		if s := solveAlternate(a); s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+type PollingTracer struct{ alts []alternate }
+
+// Solve polls ctx between alternate solves: compliant.
+func (t *PollingTracer) Solve(ctx context.Context) (float64, error) {
+	var best float64
+	for _, a := range t.alts {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		if s := solveAlternate(a); s > best {
+			best = s
+		}
+	}
+	return best, nil
+}
+
+// burstJitter perturbs a flash-crowd round off the process-global
+// source: two runs of the same spec would script different bursts.
+func burstJitter() int {
+	return rand.Intn(4) // want seededrand
+}
+
+// arrivalStamp reads the wall clock instead of deriving the arrival time
+// from the round counter, so a replay could never reproduce it.
+func arrivalStamp() time.Time {
+	return time.Now() // want seededrand
+}
+
+// seededArrivals draws the round's count from an injected generator, the
+// idiom the contract requires: compliant.
+func seededArrivals(rng *rand.Rand, rate float64) int {
+	return int(rate * rng.Float64() * 2)
+}

@@ -144,6 +144,14 @@ type Config struct {
 	// with a zero RoundBudget. The Seed field above drives the schedule;
 	// ChaosConfig.Seed is overridden per rung.
 	Chaos *resilience.ChaosConfig
+	// Observer, when non-nil, receives every round after the solved
+	// assignment has been validated and the round's trace record written,
+	// outside the timed build/solve windows — the hook behind scenario
+	// decision tracing (SLO accounting, counterfactual alternate solves).
+	// in and a are nil on short-circuited no-op rounds (nothing was solved
+	// by construction). The observer must not mutate in or a; a returned
+	// error aborts the run.
+	Observer func(ctx context.Context, round int, now float64, in *model.Instance, a *model.Assignment) error
 	// Incremental replaces the per-round rebuild-and-solve with the
 	// persistent cross-round engine of internal/incremental: the candidate
 	// graph is maintained under churn, only components touched since the
@@ -384,6 +392,9 @@ func (s *sim) run(ctx context.Context) (*Result, error) {
 			if err := s.traceRound(round, now, &bs, 0, 0, nil, nil); err != nil {
 				return res, err
 			}
+			if err := s.observe(ctx, round, now, nil, nil); err != nil {
+				return res, err
+			}
 			continue
 		}
 
@@ -499,8 +510,22 @@ func (s *sim) run(ctx context.Context) (*Result, error) {
 		if err := s.traceRound(round, now, &bs, batchUpper, float64(elapsed.Microseconds())/1000, in, a); err != nil {
 			return res, err
 		}
+		if err := s.observe(ctx, round, now, in, a); err != nil {
+			return res, err
+		}
 	}
 	return res, nil
+}
+
+// observe invokes the configured round observer, if any.
+func (s *sim) observe(ctx context.Context, round int, now float64, in *model.Instance, a *model.Assignment) error {
+	if s.cfg.Observer == nil {
+		return nil
+	}
+	if err := s.cfg.Observer(ctx, round, now, in, a); err != nil {
+		return fmt.Errorf("batch: round %d observer: %w", round, err)
+	}
+	return nil
 }
 
 // quiescent reports whether the round can be short-circuited given zero
@@ -741,6 +766,9 @@ func (s *sim) runIncremental(ctx context.Context) (*Result, error) {
 
 		s.emitRound(&bs, res, expiredBefore, departedBefore, eng.NumTasks(), eng.NumWorkers(), len(busy))
 		if err := s.traceRound(round, now, &bs, batchUpper, float64(elapsed.Microseconds())/1000, in, a); err != nil {
+			return res, err
+		}
+		if err := s.observe(ctx, round, now, in, a); err != nil {
 			return res, err
 		}
 	}

@@ -32,6 +32,11 @@ type BenchEntry struct {
 	// recorded allocations (-benchmem or the paperscale experiment); a nil
 	// pointer distinguishes "not measured" from a genuine zero.
 	AllocsPerOp *uint64 `json:"allocs_per_op,omitempty"`
+	// Regret is the mean per-round counterfactual regret recorded by the
+	// scenario experiment. Deterministic like Score, so DiffAgainst gates
+	// it bitwise wherever the baseline carries it; nil means the run did
+	// no decision tracing.
+	Regret *float64 `json:"regret,omitempty"`
 }
 
 // BenchFile is the top-level BENCH_<experiment>.json document.
@@ -118,6 +123,10 @@ func (s *Series) BenchEntries() []BenchEntry {
 			}
 			if n, ok := r.AllocsPerOp(); ok {
 				e.AllocsPerOp = &n
+			}
+			if r.Regret != nil {
+				v := *r.Regret
+				e.Regret = &v
 			}
 			out = append(out, e)
 		}
@@ -248,6 +257,15 @@ func (b *BenchFile) DiffAgainst(base *BenchFile) error {
 		if lim := want.MeanMS*DiffLatencyFactor + DiffLatencyFloorMS; got.MeanMS > lim {
 			fail("(%s=%s, %s) mean %.1fms exceeds %.1fms (baseline %.1fms × %v + %vms)",
 				b.XLabel, want.X, want.Solver, got.MeanMS, lim, want.MeanMS, DiffLatencyFactor, DiffLatencyFloorMS)
+		}
+		if want.Regret != nil {
+			switch {
+			case got.Regret == nil:
+				fail("(%s=%s, %s) baseline gates regret (%v) but fresh run did not measure it",
+					b.XLabel, want.X, want.Solver, *want.Regret)
+			case *got.Regret != *want.Regret:
+				fail("(%s=%s, %s) regret %v != baseline %v", b.XLabel, want.X, want.Solver, *got.Regret, *want.Regret)
+			}
 		}
 		if want.AllocsPerOp != nil {
 			switch {

@@ -39,6 +39,11 @@ type SolverResult struct {
 	// Allocs holds each round's heap allocation count during the solve
 	// (runtime Mallocs delta). Recorded only under Options.Benchmem.
 	Allocs []uint64
+	// Regret is the mean per-round counterfactual regret — best alternate
+	// solver's score minus the chosen solver's, floored at zero — when the
+	// experiment performed decision tracing (ExpScenario). Nil otherwise,
+	// distinguishing "not measured" from a genuine zero.
+	Regret *float64
 }
 
 // AllocsPerOp reduces the recorded per-round allocation counts to the
@@ -221,7 +226,7 @@ func AllExperiments() []string {
 
 // ExtraExperiments lists experiments beyond the paper's figures.
 func ExtraExperiments() []string {
-	return []string{ExpDistribution, ExpOptGap, ExpAnytime, ExpSources, ExpPaperScale, ExpIncremental}
+	return []string{ExpDistribution, ExpOptGap, ExpAnytime, ExpSources, ExpPaperScale, ExpIncremental, ExpScenario}
 }
 
 // Run executes the named experiment.
@@ -248,6 +253,8 @@ func Run(ctx context.Context, name string, opt Options) (*Series, error) {
 		return runShards(ctx, opt)
 	case ExpIncremental:
 		return runIncremental(ctx, opt)
+	case ExpScenario:
+		return runScenario(ctx, opt)
 	default:
 		return nil, fmt.Errorf("harness: unknown experiment %q (have %v)", name, AllExperiments())
 	}
@@ -778,6 +785,17 @@ func (s *Series) Render(w io.Writer) error {
 		nil, ""); err != nil {
 		return err
 	}
+	if s.hasRegret() {
+		if err := write("mean counterfactual regret",
+			func(r SolverResult) string {
+				if r.Regret != nil {
+					return fmt.Sprintf("%.4f", *r.Regret)
+				}
+				return "-"
+			}, nil, ""); err != nil {
+			return err
+		}
+	}
 	if !s.hasAllocs() {
 		return nil
 	}
@@ -788,6 +806,18 @@ func (s *Series) Render(w io.Writer) error {
 			}
 			return "-"
 		}, nil, "")
+}
+
+// hasRegret reports whether any result carries counterfactual regret.
+func (s *Series) hasRegret() bool {
+	for _, pt := range s.Points {
+		for _, r := range pt.Results {
+			if r.Regret != nil {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // hasAllocs reports whether any result recorded allocation counts.
@@ -832,6 +862,23 @@ func (s *Series) CSV(w io.Writer) error {
 			fmt.Fprintf(&b, ",%.6f", byName[n].BatchSeconds)
 		}
 		fmt.Fprintf(&b, ",\n")
+	}
+	if s.hasRegret() {
+		for _, pt := range s.Points {
+			byName := map[string]SolverResult{}
+			for _, r := range pt.Results {
+				byName[r.Name] = r
+			}
+			fmt.Fprintf(&b, "%s,regret,%s", s.Experiment, pt.Label)
+			for _, n := range names {
+				if r := byName[n].Regret; r != nil {
+					fmt.Fprintf(&b, ",%.6f", *r)
+				} else {
+					fmt.Fprintf(&b, ",")
+				}
+			}
+			fmt.Fprintf(&b, ",\n")
+		}
 	}
 	if s.hasAllocs() {
 		for _, pt := range s.Points {

@@ -154,7 +154,7 @@ func TestDistributionExperiment(t *testing.T) {
 			t.Errorf("bad TPG score at %s: %v, %v", pt.Label, tpg, ok)
 		}
 	}
-	if got := ExtraExperiments(); len(got) != 6 || got[4] != ExpPaperScale || got[5] != ExpIncremental {
+	if got := ExtraExperiments(); len(got) != 7 || got[4] != ExpPaperScale || got[6] != ExpScenario {
 		t.Errorf("ExtraExperiments = %v", got)
 	}
 }

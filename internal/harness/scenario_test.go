@@ -1,0 +1,81 @@
+package harness
+
+import (
+	"context"
+	"testing"
+)
+
+func TestScenarioExperiment(t *testing.T) {
+	opt := Options{Rounds: 4, Seed: 5, Scale: 0.3, Solvers: []string{"TPG", "GT"}}
+	s, err := Run(context.Background(), ExpScenario, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) != len(scenarioVariants()) {
+		t.Fatalf("points = %d, want %d", len(s.Points), len(scenarioVariants()))
+	}
+	for _, pt := range s.Points {
+		if len(pt.Results) != 2 {
+			t.Fatalf("point %s has %d results", pt.Label, len(pt.Results))
+		}
+		for _, r := range pt.Results {
+			if r.Regret == nil {
+				t.Fatalf("point %s solver %s has no regret", pt.Label, r.Name)
+			}
+			if *r.Regret < 0 {
+				t.Fatalf("point %s solver %s regret %v negative", pt.Label, r.Name, *r.Regret)
+			}
+			if r.Score < 0 {
+				t.Fatalf("point %s solver %s score %v", pt.Label, r.Name, r.Score)
+			}
+		}
+	}
+	// The regret column must survive into the bench entries and the run
+	// must be deterministic end to end.
+	for _, e := range s.BenchFile(opt).Entries {
+		if e.Regret == nil {
+			t.Fatalf("entry (%s, %s) lost its regret column", e.X, e.Solver)
+		}
+	}
+	s2, err := Run(context.Background(), ExpScenario, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Latencies are wall-clock; the deterministic columns must agree
+	// bitwise across reruns.
+	e1, e2 := s.BenchFile(opt).Entries, s2.BenchFile(opt).Entries
+	if len(e1) != len(e2) {
+		t.Fatalf("rerun produced %d entries vs %d", len(e2), len(e1))
+	}
+	for i := range e1 {
+		if e1[i].Score != e2[i].Score || *e1[i].Regret != *e2[i].Regret || e1[i].Upper != e2[i].Upper {
+			t.Fatalf("entry (%s, %s) drifted across reruns: score %v/%v regret %v/%v",
+				e1[i].X, e1[i].Solver, e1[i].Score, e2[i].Score, *e1[i].Regret, *e2[i].Regret)
+		}
+	}
+}
+
+func TestBenchDiffRegret(t *testing.T) {
+	r1, r2 := 0.5, 0.75
+	base := &BenchFile{Experiment: ExpScenario, Entries: []BenchEntry{
+		{Experiment: ExpScenario, X: "poisson", Solver: "GT", Score: 10, Regret: &r1},
+	}}
+	fresh := &BenchFile{Experiment: ExpScenario, Entries: []BenchEntry{
+		{Experiment: ExpScenario, X: "poisson", Solver: "GT", Score: 10, Regret: &r2},
+	}}
+	if err := fresh.DiffAgainst(base); err == nil {
+		t.Fatal("regret drift passed the diff")
+	}
+	missing := &BenchFile{Experiment: ExpScenario, Entries: []BenchEntry{
+		{Experiment: ExpScenario, X: "poisson", Solver: "GT", Score: 10},
+	}}
+	if err := missing.DiffAgainst(base); err == nil {
+		t.Fatal("missing regret passed the diff")
+	}
+	same := &BenchFile{Experiment: ExpScenario, Entries: []BenchEntry{
+		{Experiment: ExpScenario, X: "poisson", Solver: "GT", Score: 10, Regret: &r1},
+	}}
+	if err := same.DiffAgainst(base); err != nil {
+		t.Fatalf("clean regret diff failed: %v", err)
+	}
+}

@@ -1,0 +1,322 @@
+package scenario
+
+import (
+	"math"
+	"math/rand"
+
+	"casc/internal/assign"
+	"casc/internal/geo"
+	"casc/internal/model"
+	"casc/internal/stats"
+)
+
+// This file turns a Spec into the complete per-round arrival schedule. The
+// whole schedule is generated up front from seeded RNG streams — one per
+// entity kind, derived from the spec seed via assign.ComponentSeed — so it
+// is a pure function of the spec: the determinism contract every replay,
+// shard, and incremental-mode property rests on (DESIGN.md §14).
+
+// Seed-derivation keys for the per-kind generator streams.
+const (
+	seedKeyWorkers = 1
+	seedKeyTasks   = 2
+)
+
+// Interval is the scenario round length (batch.Config.Interval); scenarios
+// always use the default 1.0, so round r happens at time r.
+const Interval = 1.0
+
+// cellGrid is the spatial discretization the arrival rates are driven
+// over: GridSize×GridSize uniform cells on [0,1]².
+type cellGrid struct {
+	size    int
+	weights []float64 // per-cell rate share, sums to 1
+}
+
+// center returns the center point of cell c.
+func (g *cellGrid) center(c int) geo.Point {
+	cx, cy := c%g.size, c/g.size
+	return geo.Pt((float64(cx)+0.5)/float64(g.size), (float64(cy)+0.5)/float64(g.size))
+}
+
+// point draws a uniform location inside cell c.
+func (g *cellGrid) point(r *rand.Rand, c int) geo.Point {
+	cx, cy := c%g.size, c/g.size
+	return geo.Pt(
+		(float64(cx)+r.Float64())/float64(g.size),
+		(float64(cy)+r.Float64())/float64(g.size),
+	)
+}
+
+// newCellGrid builds the grid and its per-cell weights: uniform without
+// hotspots, otherwise a Gaussian mixture around `hotspots` seeded centers
+// with a small uniform floor so no cell starves completely.
+func newCellGrid(r *rand.Rand, size, hotspots int) *cellGrid {
+	g := &cellGrid{size: size, weights: make([]float64, size*size)}
+	n := len(g.weights)
+	if hotspots <= 0 {
+		for c := range g.weights {
+			g.weights[c] = 1 / float64(n)
+		}
+		return g
+	}
+	centers := make([]geo.Point, hotspots)
+	for i := range centers {
+		centers[i] = geo.Pt(r.Float64(), r.Float64())
+	}
+	const sigma = 0.15
+	const floor = 0.1
+	total := 0.0
+	for c := range g.weights {
+		p := g.center(c)
+		w := floor
+		for _, h := range centers {
+			d2 := p.Dist2(h)
+			w += math.Exp(-d2 / (2 * sigma * sigma))
+		}
+		g.weights[c] = w
+		total += w
+	}
+	for c := range g.weights {
+		g.weights[c] /= total
+	}
+	return g
+}
+
+// diurnalFactor is the rate multiplier of d at round r (1 when d is nil).
+func diurnalFactor(d *DiurnalSpec, round int) float64 {
+	if d == nil {
+		return 1
+	}
+	f := 1 + d.Amplitude*math.Sin(2*math.Pi*(float64(round)/d.Period+d.Phase))
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// burstFactor is the product of the multipliers of every burst active at
+// round r whose footprint covers pt (Radius 0 covers the whole grid).
+func burstFactor(bursts []BurstSpec, round int, pt geo.Point) float64 {
+	f := 1.0
+	for _, b := range bursts {
+		length := b.Length
+		if length <= 0 {
+			length = 1
+		}
+		if round < b.Round || round >= b.Round+length {
+			continue
+		}
+		if b.Radius > 0 && pt.Dist(geo.Pt(b.X, b.Y)) > b.Radius {
+			continue
+		}
+		f *= b.Multiplier
+	}
+	return f
+}
+
+// arrivalCounter draws one round's arrival count for a whole process.
+// The count is drawn once per round at the grid level — where the renewal
+// window Λ is large enough that the renewal families' short-window bias
+// is negligible — and arrivals are then distributed over cells by
+// weighted draw. The constant family keeps a fractional carry so its
+// long-run rate is exact; the renewal families count unit-mean
+// interarrival draws in a window of length Λ, so the mean tracks Λ while
+// the shape parameter controls burstiness.
+type arrivalCounter struct {
+	p     ProcessSpec
+	rng   *rand.Rand
+	carry float64 // constant-family fractional remainder
+}
+
+func newArrivalCounter(p ProcessSpec, rng *rand.Rand) *arrivalCounter {
+	return &arrivalCounter{p: p, rng: rng}
+}
+
+// count draws the number of arrivals this round given the round's total
+// rate Λ (the per-cell rates summed over the grid).
+func (a *arrivalCounter) count(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	switch a.p.Process {
+	case ProcPoisson:
+		return stats.Poisson(a.rng, lambda)
+	case ProcGamma:
+		shape := a.p.Shape
+		return stats.RenewalCount(lambda, func() float64 {
+			return stats.Gamma(a.rng, shape, 1/shape)
+		})
+	case ProcWeibull:
+		shape := a.p.Shape
+		scale := 1 / math.Gamma(1+1/shape)
+		return stats.RenewalCount(lambda, func() float64 {
+			return stats.Weibull(a.rng, shape, scale)
+		})
+	case ProcConstant:
+		a.carry += lambda
+		n := int(a.carry)
+		a.carry -= float64(n)
+		return n
+	}
+	return 0
+}
+
+// roundRates fills lam with each cell's rate this round — base rate share
+// times diurnal and burst modulation — and returns their sum.
+func roundRates(lam []float64, p ProcessSpec, g *cellGrid, round int) float64 {
+	df := diurnalFactor(p.Diurnal, round)
+	total := 0.0
+	for c := range g.weights {
+		lam[c] = p.Rate * g.weights[c] * df * burstFactor(p.Bursts, round, g.center(c))
+		total += lam[c]
+	}
+	return total
+}
+
+// pickCell draws a cell index proportional to lam (which sums to total).
+func pickCell(r *rand.Rand, lam []float64, total float64) int {
+	u := r.Float64() * total
+	acc := 0.0
+	for c, l := range lam {
+		acc += l
+		if u < acc {
+			return c
+		}
+	}
+	return len(lam) - 1
+}
+
+// Plan is a fully generated scenario: every arrival of every round, the
+// SLO class of every task, and the quality-model universe size. Plans are
+// immutable once built; Source adapts one to batch.Source.
+type Plan struct {
+	Spec Spec
+	// workersByRound[r] and tasksByRound[r] hold round r's arrivals in
+	// generation order (IDs are globally sequential).
+	workersByRound [][]model.Worker
+	tasksByRound   [][]model.Task
+	// taskClass[id] is the SLO class index of task id (-1: no class).
+	taskClass []int
+	// Universe is the number of distinct worker IDs (the quality-model
+	// size).
+	Universe int
+}
+
+// Generate builds the complete event schedule for the spec. The result is
+// bitwise-deterministic in the spec: same spec, same plan.
+func Generate(spec Spec) (*Plan, error) {
+	spec = spec.withDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Plan{
+		Spec:           spec,
+		workersByRound: make([][]model.Worker, spec.Rounds),
+		tasksByRound:   make([][]model.Task, spec.Rounds),
+	}
+	// Workers stream.
+	wrng := stats.NewRNG(assign.ComponentSeed(spec.Seed, seedKeyWorkers))
+	wgrid := newCellGrid(wrng, spec.GridSize, spec.Workers.Hotspots)
+	wcount := newArrivalCounter(spec.Workers, wrng)
+	wlam := make([]float64, len(wgrid.weights))
+	wid := 0
+	for r := 0; r < spec.Rounds; r++ {
+		now := float64(r) * Interval
+		total := roundRates(wlam, spec.Workers, wgrid, r)
+		n := wcount.count(total)
+		for k := 0; k < n; k++ {
+			c := pickCell(wrng, wlam, total)
+			p.workersByRound[r] = append(p.workersByRound[r], model.Worker{
+				ID:     wid,
+				Loc:    wgrid.point(wrng, c),
+				Speed:  stats.TruncGaussian(wrng, spec.SpeedRange[0], spec.SpeedRange[1], stats.PaperSigma),
+				Radius: stats.TruncGaussian(wrng, spec.RadiusRange[0], spec.RadiusRange[1], stats.PaperSigma),
+				Arrive: now,
+			})
+			wid++
+		}
+	}
+	p.Universe = wid
+	if p.Universe == 0 {
+		p.Universe = 1 // coop.Synthetic needs a non-empty universe
+	}
+
+	// Tasks stream. Per arrival the draw order is fixed and documented:
+	// cell, then SLO class (when classes exist), then location.
+	trng := stats.NewRNG(assign.ComponentSeed(spec.Seed, seedKeyTasks))
+	tgrid := newCellGrid(trng, spec.GridSize, spec.Tasks.Hotspots)
+	tcount := newArrivalCounter(spec.Tasks, trng)
+	tlam := make([]float64, len(tgrid.weights))
+	shareTotal := 0.0
+	for _, c := range spec.SLOClasses {
+		shareTotal += c.Share
+	}
+	tid := 0
+	for r := 0; r < spec.Rounds; r++ {
+		now := float64(r) * Interval
+		total := roundRates(tlam, spec.Tasks, tgrid, r)
+		n := tcount.count(total)
+		for k := 0; k < n; k++ {
+			c := pickCell(trng, tlam, total)
+			class := -1
+			deadline := spec.Deadline
+			if len(spec.SLOClasses) > 0 {
+				u := trng.Float64() * shareTotal
+				acc := 0.0
+				class = len(spec.SLOClasses) - 1
+				for ci, cl := range spec.SLOClasses {
+					acc += cl.Share
+					if u < acc {
+						class = ci
+						break
+					}
+				}
+				deadline = spec.SLOClasses[class].Deadline
+			}
+			p.tasksByRound[r] = append(p.tasksByRound[r], model.Task{
+				ID:       tid,
+				Loc:      tgrid.point(trng, c),
+				Capacity: spec.Capacity,
+				Created:  now,
+				Deadline: now + deadline,
+			})
+			p.taskClass = append(p.taskClass, class)
+			tid++
+		}
+	}
+	return p, nil
+}
+
+// NumWorkers returns the total worker arrivals over all rounds.
+func (p *Plan) NumWorkers() int {
+	n := 0
+	for _, ws := range p.workersByRound {
+		n += len(ws)
+	}
+	return n
+}
+
+// NumTasks returns the total task arrivals over all rounds.
+func (p *Plan) NumTasks() int { return len(p.taskClass) }
+
+// Rounds returns the plan's round count.
+func (p *Plan) Rounds() int { return len(p.workersByRound) }
+
+// ClassOf returns the SLO class index of task id (-1 when the scenario
+// declares no classes or the id is unknown).
+func (p *Plan) ClassOf(taskID int) int {
+	if taskID < 0 || taskID >= len(p.taskClass) {
+		return -1
+	}
+	return p.taskClass[taskID]
+}
+
+// ClassName returns the SLO class name of task id ("" for none).
+func (p *Plan) ClassName(taskID int) string {
+	ci := p.ClassOf(taskID)
+	if ci < 0 || ci >= len(p.Spec.SLOClasses) {
+		return ""
+	}
+	return p.Spec.SLOClasses[ci].Name
+}

@@ -1,0 +1,52 @@
+package scenario
+
+import "casc/internal/metrics"
+
+// Scenario metric names. Constants so the metricname lint rule can verify
+// every registered name appears in docs/OPERATIONS.md.
+const (
+	metricArrivals       = "casc_scenario_arrivals_total"
+	metricSLOTasks       = "casc_scenario_slo_tasks_total"
+	metricSLODispatched  = "casc_scenario_slo_dispatched_total"
+	metricSLOViolations  = "casc_scenario_slo_violations_total"
+	metricSLOWait        = "casc_scenario_slo_wait_rounds"
+	metricRegret         = "casc_scenario_regret"
+	metricCounterfactual = "casc_scenario_counterfactual_solves_total"
+)
+
+// publishMetrics pushes a finished run's scenario outcome into reg.
+// Counters are registered once per label set, so repeated runs against the
+// same registry accumulate.
+func publishMetrics(reg *metrics.Registry, plan *Plan, slo *SLOReport, cf *CounterfactualReport) {
+	if reg == nil {
+		return
+	}
+	reg.Counter(metricArrivals, "Scenario arrivals generated, by entity kind.",
+		metrics.L("kind", "worker")).Add(uint64(plan.NumWorkers()))
+	reg.Counter(metricArrivals, "Scenario arrivals generated, by entity kind.",
+		metrics.L("kind", "task")).Add(uint64(plan.NumTasks()))
+	if slo != nil {
+		waitBounds := metrics.ExponentialBuckets(1, 2, 8)
+		for _, c := range slo.Classes {
+			lbl := metrics.L("class", c.Name)
+			reg.Counter(metricSLOTasks, "Scenario task arrivals, by SLO class.", lbl).Add(uint64(c.Tasks))
+			reg.Counter(metricSLODispatched, "Scenario tasks dispatched, by SLO class.", lbl).Add(uint64(c.Dispatched))
+			reg.Counter(metricSLOViolations, "Scenario SLO violations (late dispatch or expiry), by class.", lbl).Add(uint64(c.Violations))
+			if c.Dispatched > 0 {
+				h := reg.Histogram(metricSLOWait, "Scenario dispatch wait in rounds, by SLO class.", waitBounds, lbl)
+				// The tracker keeps only the mean; observe it Dispatched
+				// times so count and sum stay consistent.
+				for i := 0; i < c.Dispatched; i++ {
+					h.Observe(c.MeanWait)
+				}
+			}
+		}
+	}
+	if cf != nil {
+		reg.Counter(metricCounterfactual, "Counterfactual alternate solves performed.").Add(uint64(cf.Solves))
+		h := reg.Histogram(metricRegret, "Per-round counterfactual regret (best alternate minus chosen score).", metrics.ScoreBuckets())
+		for _, d := range cf.Decisions {
+			h.Observe(d.Regret)
+		}
+	}
+}

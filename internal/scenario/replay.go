@@ -1,0 +1,281 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"casc/internal/assign"
+	"casc/internal/checkin"
+	"casc/internal/coop"
+	"casc/internal/model"
+	"casc/internal/stats"
+	"casc/internal/trace"
+)
+
+// This file adapts plans to batch.Source and to the internal/trace event
+// stream: recording exports a plan's schedule, replaying rebuilds an
+// identical plan from the stream, and FromCheckin maps a check-in-shaped
+// real trace onto the same event format.
+
+// planSource feeds a plan into batch.Run.
+type planSource struct{ p *Plan }
+
+// Source adapts the plan to batch.Source. The quality model is the
+// deterministic synthetic cooperation model over the plan's worker
+// universe, seeded by the spec seed — the same construction for original
+// runs and replays, which is what makes scores comparable bitwise.
+func (p *Plan) Source() *planSource { return &planSource{p} }
+
+func (s *planSource) WorkersAt(round int) []model.Worker {
+	if round < 0 || round >= len(s.p.workersByRound) {
+		return nil
+	}
+	return s.p.workersByRound[round]
+}
+
+func (s *planSource) TasksAt(round int) []model.Task {
+	if round < 0 || round >= len(s.p.tasksByRound) {
+		return nil
+	}
+	return s.p.tasksByRound[round]
+}
+
+func (s *planSource) Quality() model.QualityModel {
+	return coop.Synthetic{N: s.p.Universe, Seed: uint64(s.p.Spec.Seed)}
+}
+
+// Events exports the plan as a replayable event stream: the meta header
+// plus every arrival in schedule order (round-major, workers before
+// tasks within a round, generation order within a kind).
+func (p *Plan) Events(solver string) (trace.ReplayMeta, []trace.Event) {
+	meta := trace.ReplayMeta{
+		Scenario: p.Spec.Name,
+		Seed:     p.Spec.Seed,
+		Rounds:   p.Rounds(),
+		B:        p.Spec.B,
+		Solver:   solver,
+		Universe: p.Universe,
+	}
+	var events []trace.Event
+	for r := 0; r < p.Rounds(); r++ {
+		for i := range p.workersByRound[r] {
+			w := p.workersByRound[r][i]
+			events = append(events, trace.Event{Kind: trace.EventWorker, Round: r, Worker: &w})
+		}
+		for i := range p.tasksByRound[r] {
+			t := p.tasksByRound[r][i]
+			events = append(events, trace.Event{
+				Kind: trace.EventTask, Round: r, Task: &t,
+				Class: p.ClassName(t.ID),
+			})
+		}
+	}
+	return meta, events
+}
+
+// FromEvents rebuilds a plan from a recorded event stream. The plan
+// carries the meta's seed, B and round count; SLO classes are
+// reconstructed from the per-task class names (deadline and wait targets
+// default to the observed deadline spread when the original spec is not
+// available, which preserves class membership — the property replay
+// verification needs — even though the numeric targets may differ).
+func FromEvents(meta trace.ReplayMeta, events []trace.Event) (*Plan, error) {
+	if meta.Rounds <= 0 {
+		return nil, fmt.Errorf("scenario: event stream meta has rounds = %d", meta.Rounds)
+	}
+	spec := Spec{
+		Name:   meta.Scenario,
+		Seed:   meta.Seed,
+		Rounds: meta.Rounds,
+		B:      meta.B,
+		Solver: meta.Solver,
+	}
+	spec = spec.withDefaults()
+	p := &Plan{
+		Spec:           spec,
+		workersByRound: make([][]model.Worker, meta.Rounds),
+		tasksByRound:   make([][]model.Task, meta.Rounds),
+	}
+	classIndex := map[string]int{}
+	classByTask := map[int]string{}
+	maxWorkerID := -1
+	maxTaskID := -1
+	for i, ev := range events {
+		if ev.Round >= meta.Rounds {
+			return nil, fmt.Errorf("scenario: event %d at round %d beyond meta rounds %d", i, ev.Round, meta.Rounds)
+		}
+		switch ev.Kind {
+		case trace.EventWorker:
+			p.workersByRound[ev.Round] = append(p.workersByRound[ev.Round], *ev.Worker)
+			if ev.Worker.ID > maxWorkerID {
+				maxWorkerID = ev.Worker.ID
+			}
+		case trace.EventTask:
+			p.tasksByRound[ev.Round] = append(p.tasksByRound[ev.Round], *ev.Task)
+			if ev.Task.ID > maxTaskID {
+				maxTaskID = ev.Task.ID
+			}
+			if ev.Class != "" {
+				if _, ok := classIndex[ev.Class]; !ok {
+					classIndex[ev.Class] = 0 // index assigned after the scan
+				}
+				classByTask[ev.Task.ID] = ev.Class
+			}
+		default:
+			return nil, fmt.Errorf("scenario: event %d has kind %q", i, ev.Kind)
+		}
+	}
+	p.Universe = meta.Universe
+	if p.Universe <= maxWorkerID {
+		p.Universe = maxWorkerID + 1
+	}
+	if p.Universe == 0 {
+		p.Universe = 1
+	}
+	// Rebuild the class table in sorted-name order (first-seen order would
+	// leak map iteration into nothing, but sorted is simplest to pin).
+	names := make([]string, 0, len(classIndex))
+	for name := range classIndex {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for i, name := range names {
+		classIndex[name] = i
+		p.Spec.SLOClasses = append(p.Spec.SLOClasses, SLOClass{
+			Name: name, Share: 1, Deadline: p.Spec.Deadline, TargetWait: math.Inf(1),
+		})
+	}
+	if maxTaskID >= 0 {
+		p.taskClass = make([]int, maxTaskID+1)
+		for i := range p.taskClass {
+			p.taskClass[i] = -1
+		}
+		for id, name := range classByTask {
+			p.taskClass[id] = classIndex[name]
+		}
+	}
+	return p, nil
+}
+
+// CheckinParams configures the check-in trace conversion.
+type CheckinParams struct {
+	// Rounds is how many batch rounds the trace's time span is mapped
+	// onto.
+	Rounds int
+	// MaxTasks caps the number of visits converted to tasks (0: all);
+	// visits are taken at an even stride so the cap preserves the trace's
+	// temporal shape.
+	MaxTasks int
+	// B, Capacity, Deadline, SpeedRange and RadiusRange fill the worker
+	// and task attributes the check-in trace does not carry.
+	B           int
+	Capacity    int
+	Deadline    float64
+	SpeedRange  [2]float64
+	RadiusRange [2]float64
+	// Seed drives the attribute draws and seeds the replay quality model.
+	Seed int64
+}
+
+// DefaultCheckinParams mirrors the Table II bold defaults.
+func DefaultCheckinParams() CheckinParams {
+	return CheckinParams{
+		Rounds:      10,
+		B:           3,
+		Capacity:    5,
+		Deadline:    3,
+		SpeedRange:  [2]float64{0.01, 0.05},
+		RadiusRange: [2]float64{0.05, 0.10},
+		Seed:        1,
+	}
+}
+
+// FromCheckin converts a check-in trace into a scenario event stream:
+// each user becomes a worker arriving at their home location in the round
+// of their first visit, and each (strided) visit becomes a task at its
+// venue in the round its timestamp maps to. The result plugs into the
+// same record/replay machinery as generated scenarios, so a real-world-
+// shaped trace drives batch.Run identically.
+func FromCheckin(tr *checkin.Trace, p CheckinParams) (*Plan, error) {
+	if p.Rounds <= 0 {
+		return nil, fmt.Errorf("scenario: checkin conversion needs rounds > 0")
+	}
+	if p.B < 2 || p.Capacity < p.B {
+		return nil, fmt.Errorf("scenario: checkin conversion B=%d capacity=%d invalid", p.B, p.Capacity)
+	}
+	visits := tr.Visits
+	if len(visits) == 0 {
+		return nil, fmt.Errorf("scenario: check-in trace has no visits")
+	}
+	tmin, tmax := visits[0].Time, visits[len(visits)-1].Time
+	span := tmax - tmin
+	roundOf := func(t float64) int {
+		if span <= 0 {
+			return 0
+		}
+		r := int((t - tmin) / span * float64(p.Rounds))
+		if r >= p.Rounds {
+			r = p.Rounds - 1
+		}
+		return r
+	}
+	spec := Spec{
+		Name: "checkin", Seed: p.Seed, Rounds: p.Rounds, B: p.B,
+		Capacity: p.Capacity, Deadline: p.Deadline,
+		SpeedRange: p.SpeedRange, RadiusRange: p.RadiusRange,
+		Workers: ProcessSpec{Process: ProcConstant, Rate: 0},
+		Tasks:   ProcessSpec{Process: ProcConstant, Rate: 0},
+	}
+	spec = spec.withDefaults()
+	plan := &Plan{
+		Spec:           spec,
+		workersByRound: make([][]model.Worker, p.Rounds),
+		tasksByRound:   make([][]model.Task, p.Rounds),
+	}
+	rng := stats.NewRNG(assign.ComponentSeed(p.Seed, seedKeyWorkers))
+	// Workers: one per user, arriving at the round of their first visit.
+	firstRound := make([]int, tr.NumUsers())
+	for u := range firstRound {
+		firstRound[u] = -1
+	}
+	for _, v := range visits {
+		if firstRound[v.User] < 0 {
+			firstRound[v.User] = roundOf(v.Time)
+		}
+	}
+	for u, r := range firstRound {
+		if r < 0 {
+			continue // user never checked in
+		}
+		plan.workersByRound[r] = append(plan.workersByRound[r], model.Worker{
+			ID:     u,
+			Loc:    tr.HomeLocs[u],
+			Speed:  stats.TruncGaussian(rng, spec.SpeedRange[0], spec.SpeedRange[1], stats.PaperSigma),
+			Radius: stats.TruncGaussian(rng, spec.RadiusRange[0], spec.RadiusRange[1], stats.PaperSigma),
+			Arrive: float64(r) * Interval,
+		})
+	}
+	plan.Universe = tr.NumUsers()
+	// Tasks: strided visits become venue tasks.
+	stride := 1
+	if p.MaxTasks > 0 && len(visits) > p.MaxTasks {
+		stride = (len(visits) + p.MaxTasks - 1) / p.MaxTasks
+	}
+	tid := 0
+	for i := 0; i < len(visits); i += stride {
+		v := visits[i]
+		r := roundOf(v.Time)
+		now := float64(r) * Interval
+		plan.tasksByRound[r] = append(plan.tasksByRound[r], model.Task{
+			ID:       tid,
+			Loc:      tr.VenueLocs[v.Venue],
+			Capacity: p.Capacity,
+			Created:  now,
+			Deadline: now + spec.Deadline,
+		})
+		plan.taskClass = append(plan.taskClass, -1)
+		tid++
+	}
+	return plan, nil
+}

@@ -1,0 +1,457 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"casc/internal/checkin"
+	"casc/internal/trace"
+)
+
+// churnSpec is the 50-round property-test workload: steady worker churn,
+// heavy-tailed task arrivals, two SLO tiers.
+func churnSpec() Spec {
+	return Spec{
+		Name: "churn", Seed: 7, Rounds: 50,
+		Workers: ProcessSpec{Process: ProcPoisson, Rate: 30},
+		Tasks:   ProcessSpec{Process: ProcGamma, Rate: 15, Shape: 0.6},
+		SLOClasses: []SLOClass{
+			{Name: "gold", Share: 0.25, Deadline: 2, TargetWait: 0},
+			{Name: "standard", Share: 0.75, Deadline: 4, TargetWait: 2},
+		},
+	}
+}
+
+func TestSpecDefaultsAndValidate(t *testing.T) {
+	s := Spec{
+		Workers: ProcessSpec{Process: ProcPoisson, Rate: 10},
+		Tasks:   ProcessSpec{Process: ProcPoisson, Rate: 5},
+	}.withDefaults()
+	if s.Seed != 1 || s.Rounds != 10 || s.B != 3 || s.Capacity != 5 || s.Solver != "GT" {
+		t.Fatalf("defaults = %+v", s)
+	}
+	if got := s.Alternates; len(got) != 1 || got[0] != "TPG" {
+		t.Fatalf("default alternates = %v (chosen GT must be excluded)", got)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("defaulted spec invalid: %v", err)
+	}
+	bad := []Spec{
+		{Workers: ProcessSpec{Process: "pareto", Rate: 1}, Tasks: ProcessSpec{Process: ProcPoisson, Rate: 1}},
+		{Workers: ProcessSpec{Process: ProcPoisson, Rate: -1}, Tasks: ProcessSpec{Process: ProcPoisson, Rate: 1}},
+		{Solver: "NOPE", Workers: ProcessSpec{Process: ProcPoisson, Rate: 1}, Tasks: ProcessSpec{Process: ProcPoisson, Rate: 1}},
+		{
+			Workers:    ProcessSpec{Process: ProcPoisson, Rate: 1},
+			Tasks:      ProcessSpec{Process: ProcPoisson, Rate: 1},
+			SLOClasses: []SLOClass{{Name: "", Share: 1, Deadline: 1}},
+		},
+	}
+	for i, b := range bad {
+		if err := b.withDefaults().Validate(); err == nil {
+			t.Errorf("bad spec %d validated", i)
+		}
+	}
+}
+
+func TestBuiltinsLoad(t *testing.T) {
+	names := Builtins()
+	if len(names) == 0 {
+		t.Fatal("no builtins")
+	}
+	for _, name := range names {
+		s, err := Load(name)
+		if err != nil {
+			t.Fatalf("Load(%q): %v", name, err)
+		}
+		if s.Name != name {
+			t.Fatalf("Load(%q).Name = %q", name, s.Name)
+		}
+		if _, err := Generate(s); err != nil {
+			t.Fatalf("Generate(%q): %v", name, err)
+		}
+	}
+	if _, err := Load("no-such-scenario"); err == nil {
+		t.Fatal("unknown ref loaded")
+	}
+}
+
+func TestLoadJSONFile(t *testing.T) {
+	spec := churnSpec()
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "churn.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load(file): %v", err)
+	}
+	if got.Name != "churn" || got.Rounds != 50 || got.Tasks.Shape != 0.6 {
+		t.Fatalf("loaded spec = %+v", got)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(churnSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(churnSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two generations of the same spec differ")
+	}
+	if a.NumWorkers() == 0 || a.NumTasks() == 0 {
+		t.Fatalf("empty plan: %d workers, %d tasks", a.NumWorkers(), a.NumTasks())
+	}
+}
+
+func TestArrivalRatesTrackSpec(t *testing.T) {
+	spec := Spec{
+		Name: "rates", Seed: 11, Rounds: 40,
+		Workers: ProcessSpec{Process: ProcPoisson, Rate: 50},
+		Tasks:   ProcessSpec{Process: ProcWeibull, Rate: 25, Shape: 0.8},
+	}
+	p, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantW, wantT := 50.0*40, 25.0*40
+	if got := float64(p.NumWorkers()); math.Abs(got-wantW)/wantW > 0.15 {
+		t.Errorf("worker arrivals = %v, want ≈ %v", got, wantW)
+	}
+	if got := float64(p.NumTasks()); math.Abs(got-wantT)/wantT > 0.20 {
+		t.Errorf("task arrivals = %v, want ≈ %v", got, wantT)
+	}
+}
+
+func TestSLOClassShares(t *testing.T) {
+	p, err := Generate(churnSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, len(p.Spec.SLOClasses))
+	for id := 0; id < p.NumTasks(); id++ {
+		ci := p.ClassOf(id)
+		if ci < 0 {
+			t.Fatalf("task %d has no class", id)
+		}
+		counts[ci]++
+	}
+	goldFrac := float64(counts[0]) / float64(p.NumTasks())
+	if math.Abs(goldFrac-0.25) > 0.06 {
+		t.Errorf("gold share = %v, want ≈ 0.25", goldFrac)
+	}
+	if got := p.ClassName(0); got != "gold" && got != "standard" {
+		t.Errorf("ClassName(0) = %q", got)
+	}
+}
+
+func TestBurstRaisesArrivals(t *testing.T) {
+	base := Spec{
+		Name: "burst", Seed: 3, Rounds: 8, GridSize: 4,
+		Workers: ProcessSpec{Process: ProcConstant, Rate: 10},
+		Tasks: ProcessSpec{
+			Process: ProcConstant, Rate: 20,
+			Bursts: []BurstSpec{{Round: 3, Length: 2, Multiplier: 5}},
+		},
+	}
+	p, err := Generate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quiet, burst := len(p.tasksByRound[1]), len(p.tasksByRound[3])
+	if burst < 3*quiet {
+		t.Errorf("burst round has %d tasks vs quiet %d, want ≥ 3×", burst, quiet)
+	}
+}
+
+func TestDiurnalModulatesArrivals(t *testing.T) {
+	spec := Spec{
+		Name: "wave", Seed: 5, Rounds: 12,
+		Workers: ProcessSpec{
+			Process: ProcConstant, Rate: 40,
+			Diurnal: &DiurnalSpec{Period: 12, Amplitude: 1},
+		},
+		Tasks: ProcessSpec{Process: ProcConstant, Rate: 1},
+	}
+	p, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := len(p.workersByRound[3])   // sin peaks at r = Period/4
+	trough := len(p.workersByRound[9]) // trough at 3·Period/4, factor 0
+	if peak <= trough {
+		t.Errorf("peak round arrivals %d not above trough %d", peak, trough)
+	}
+	if trough != 0 {
+		t.Errorf("amplitude-1 trough should generate 0 workers, got %d", trough)
+	}
+}
+
+// runPlan executes the plan and returns the run's trace records.
+func runPlan(t *testing.T, cfg RunConfig) ([]trace.Record, *Report) {
+	t.Helper()
+	var buf bytes.Buffer
+	cfg.Trace = trace.NewWriter(&buf)
+	rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := trace.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Validate(recs); err != nil {
+		t.Fatal(err)
+	}
+	return recs, rep
+}
+
+// sameDecisions fails unless both runs made bitwise-identical decisions:
+// same scores (Float64bits) and the same dispatched pair sets per record.
+func sameDecisions(t *testing.T, label string, a, b []trace.Record) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: %d records vs %d", label, len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Run != b[i].Run || a[i].Round != b[i].Round {
+			t.Fatalf("%s: record %d identity differs: %+v vs %+v", label, i, a[i], b[i])
+		}
+		if math.Float64bits(a[i].Score) != math.Float64bits(b[i].Score) {
+			t.Fatalf("%s: record %d score %v vs %v (not bitwise equal)", label, i, a[i].Score, b[i].Score)
+		}
+		if !reflect.DeepEqual(a[i].Pairs, b[i].Pairs) {
+			t.Fatalf("%s: record %d pairs differ:\n%v\nvs\n%v", label, i, a[i].Pairs, b[i].Pairs)
+		}
+	}
+}
+
+// roundTripPlan records the plan to an event stream and replays it back.
+func roundTripPlan(t *testing.T, p *Plan) *Plan {
+	t.Helper()
+	meta, events := p.Events(p.Spec.Solver)
+	var buf bytes.Buffer
+	if err := trace.WriteEvents(&buf, meta, events); err != nil {
+		t.Fatal(err)
+	}
+	gotMeta, gotEvents, err := trace.ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := FromEvents(gotMeta, gotEvents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return replay
+}
+
+// TestReplayBitwise is the PR's acceptance property: a recorded 50-round
+// churn run replays bitwise — identical trace scores and pair sets — in
+// from-scratch mode, under the incremental engine, and on a 4-shard
+// cluster.
+func TestReplayBitwise(t *testing.T) {
+	plan, err := Generate(churnSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay := roundTripPlan(t, plan)
+	if plan.NumWorkers() != replay.NumWorkers() || plan.NumTasks() != replay.NumTasks() {
+		t.Fatalf("replayed plan sized %d/%d, want %d/%d",
+			replay.NumWorkers(), replay.NumTasks(), plan.NumWorkers(), plan.NumTasks())
+	}
+
+	modes := []struct {
+		name string
+		cfg  func(p *Plan) RunConfig
+	}{
+		{"scratch", func(p *Plan) RunConfig { return RunConfig{Plan: p} }},
+		{"incremental", func(p *Plan) RunConfig { return RunConfig{Plan: p, Incremental: true} }},
+		{"shards4", func(p *Plan) RunConfig { return RunConfig{Plan: p, Shards: 4} }},
+	}
+	var scratch []trace.Record
+	for _, m := range modes {
+		orig, _ := runPlan(t, m.cfg(plan))
+		re, _ := runPlan(t, m.cfg(replay))
+		sameDecisions(t, m.name, orig, re)
+		if m.name == "scratch" {
+			scratch = orig
+		}
+		if m.name == "incremental" {
+			// The incremental engine itself must agree with the from-scratch
+			// loop on the same plan (deterministic solver).
+			sameDecisions(t, "scratch-vs-incremental", scratch, orig)
+		}
+	}
+}
+
+func TestCounterfactualReport(t *testing.T) {
+	spec, err := Load("poisson")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() ([]trace.Record, *Report) {
+		return runPlan(t, RunConfig{Plan: plan, CounterfactualK: -1})
+	}
+	recs, rep := run()
+	cf := rep.Counterfactual
+	if cf == nil {
+		t.Fatal("no counterfactual report")
+	}
+	if cf.Chosen != "GT" {
+		t.Fatalf("chosen = %q", cf.Chosen)
+	}
+	if len(cf.Decisions) == 0 || cf.Solves != len(cf.Decisions)*len(cf.AltTotals) {
+		t.Fatalf("decisions=%d solves=%d alts=%d", len(cf.Decisions), cf.Solves, len(cf.AltTotals))
+	}
+	for _, d := range cf.Decisions {
+		if d.Regret < 0 {
+			t.Fatalf("round %d negative regret %v", d.Round, d.Regret)
+		}
+	}
+	if cf.MaxRegret < cf.MeanRegret {
+		t.Fatalf("max regret %v below mean %v", cf.MaxRegret, cf.MeanRegret)
+	}
+	sawCF := false
+	for _, r := range recs {
+		if strings.HasPrefix(r.Run, "cf:") {
+			sawCF = true
+			break
+		}
+	}
+	if !sawCF {
+		t.Fatal("no cf: records in trace")
+	}
+	// Counterfactuals must not perturb determinism: a second run agrees
+	// bitwise, decisions included.
+	recs2, rep2 := run()
+	sameDecisions(t, "cf-rerun", recs, recs2)
+	j1, _ := json.Marshal(rep.Counterfactual)
+	j2, _ := json.Marshal(rep2.Counterfactual)
+	if !bytes.Equal(j1, j2) {
+		t.Fatal("counterfactual reports differ across reruns")
+	}
+	// And the chosen run's records must match a plain run without them.
+	plain, _ := runPlan(t, RunConfig{Plan: plan})
+	var chosenOnly []trace.Record
+	for _, r := range recs {
+		if !strings.HasPrefix(r.Run, "cf:") {
+			chosenOnly = append(chosenOnly, r)
+		}
+	}
+	sameDecisions(t, "cf-vs-plain", plain, chosenOnly)
+}
+
+func TestCounterfactualRejectsShards(t *testing.T) {
+	plan, err := Generate(churnSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(context.Background(), RunConfig{Plan: plan, Shards: 2, CounterfactualK: 1})
+	if err == nil {
+		t.Fatal("counterfactual + shards accepted")
+	}
+}
+
+func TestSLOReport(t *testing.T) {
+	plan, err := Generate(churnSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rep := runPlan(t, RunConfig{Plan: plan})
+	if rep.SLO == nil {
+		t.Fatal("no SLO report")
+	}
+	total := 0
+	for _, c := range rep.SLO.Classes {
+		total += c.Tasks
+		if c.Dispatched > c.Tasks {
+			t.Fatalf("class %s dispatched %d of %d", c.Name, c.Dispatched, c.Tasks)
+		}
+		if c.Violations > c.Tasks {
+			t.Fatalf("class %s violations %d of %d", c.Name, c.Violations, c.Tasks)
+		}
+	}
+	if total != plan.NumTasks() {
+		t.Fatalf("SLO classes cover %d tasks, plan has %d", total, plan.NumTasks())
+	}
+	if rep.SLO.Fairness <= 0 || rep.SLO.Fairness > 1+1e-9 {
+		t.Fatalf("fairness = %v", rep.SLO.Fairness)
+	}
+	if rep.SLO.String() == "" {
+		t.Fatal("empty SLO rendering")
+	}
+}
+
+func TestReplaySolverOverride(t *testing.T) {
+	plan, err := Generate(churnSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, gt := runPlan(t, RunConfig{Plan: plan})
+	_, tpg := runPlan(t, RunConfig{Plan: plan, Solver: "TPG"})
+	if gt.Solver != "GT" || tpg.Solver != "TPG" {
+		t.Fatalf("solver labels %q / %q", gt.Solver, tpg.Solver)
+	}
+	if gt.Score < tpg.Score {
+		t.Logf("note: GT %v below TPG %v on this workload", gt.Score, tpg.Score)
+	}
+}
+
+func TestFromCheckin(t *testing.T) {
+	cfg := checkin.Default()
+	cfg.NumUsers, cfg.NumVenues, cfg.VisitsPerUser = 200, 50, 10
+	tr := checkin.Generate(cfg)
+	p := DefaultCheckinParams()
+	p.Rounds = 6
+	p.MaxTasks = 300
+	plan, err := FromCheckin(tr, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Rounds() != 6 {
+		t.Fatalf("rounds = %d", plan.Rounds())
+	}
+	if plan.NumWorkers() == 0 || plan.NumWorkers() > cfg.NumUsers {
+		t.Fatalf("workers = %d of %d users", plan.NumWorkers(), cfg.NumUsers)
+	}
+	if plan.NumTasks() == 0 || plan.NumTasks() > 300+50 {
+		t.Fatalf("tasks = %d, cap 300", plan.NumTasks())
+	}
+	// The converted plan must survive record → replay → run like any other.
+	replay := roundTripPlan(t, plan)
+	orig, _ := runPlan(t, RunConfig{Plan: plan})
+	re, _ := runPlan(t, RunConfig{Plan: replay})
+	sameDecisions(t, "checkin-replay", orig, re)
+}
+
+func TestEventStreamErrors(t *testing.T) {
+	if _, _, err := trace.ReadEvents(strings.NewReader(`{"kind":"worker"}`)); err == nil {
+		t.Fatal("worker event without payload accepted")
+	}
+	if _, _, err := trace.ReadEvents(strings.NewReader("")); err == nil {
+		t.Fatal("empty stream accepted (no meta)")
+	}
+	meta := trace.ReplayMeta{Seed: 1, Rounds: 2, B: 3, Solver: "GT", Universe: 1}
+	var buf bytes.Buffer
+	if err := trace.WriteEvents(&buf, meta, []trace.Event{{Kind: trace.EventMeta, Meta: &meta}}); err == nil {
+		t.Fatal("duplicate meta accepted")
+	}
+}

@@ -1,0 +1,178 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SLO accounting: every task carries an SLO class drawn at generation
+// time; the tracker observes which tasks were dispatched in which round
+// and reports per-class wait distributions, violation counts, and a
+// cross-class fairness index.
+
+// SLOClassReport summarizes one class (or the implicit "all" aggregate).
+type SLOClassReport struct {
+	Name string `json:"name"`
+	// Tasks is how many tasks of this class arrived.
+	Tasks int `json:"tasks"`
+	// Dispatched is how many of them were dispatched before run end.
+	Dispatched int `json:"dispatched"`
+	// Violations counts tasks dispatched later than the class wait target
+	// plus tasks that expired undispatched.
+	Violations int `json:"violations"`
+	// MeanWait is the mean dispatch wait in rounds over dispatched tasks.
+	MeanWait float64 `json:"mean_wait"`
+	// MaxWait is the worst dispatch wait in rounds.
+	MaxWait int `json:"max_wait"`
+}
+
+// DispatchRate is the fraction of this class's tasks that were dispatched.
+func (c SLOClassReport) DispatchRate() float64 {
+	if c.Tasks == 0 {
+		return 0
+	}
+	return float64(c.Dispatched) / float64(c.Tasks)
+}
+
+// SLOReport is the per-class SLO outcome of a run.
+type SLOReport struct {
+	Classes []SLOClassReport `json:"classes"`
+	// Fairness is Jain's index over per-class dispatch rates: 1 when every
+	// class is served at the same rate, 1/n when one class takes all.
+	Fairness float64 `json:"fairness"`
+}
+
+// String renders the report as a fixed-order table.
+func (r *SLOReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %8s %10s %10s %10s %8s\n",
+		"class", "tasks", "dispatched", "violations", "mean_wait", "max_wait")
+	for _, c := range r.Classes {
+		fmt.Fprintf(&b, "%-12s %8d %10d %10d %10.2f %8d\n",
+			c.Name, c.Tasks, c.Dispatched, c.Violations, c.MeanWait, c.MaxWait)
+	}
+	fmt.Fprintf(&b, "fairness (Jain) = %.4f\n", r.Fairness)
+	return b.String()
+}
+
+// sloTracker accumulates dispatch observations over a run.
+type sloTracker struct {
+	plan *Plan
+	// createdRound[id] is the round task id arrived; dispatchRound[id] is
+	// -1 until the task is dispatched.
+	createdRound  map[int]int
+	dispatchRound map[int]int
+}
+
+func newSLOTracker(p *Plan) *sloTracker {
+	t := &sloTracker{
+		plan:          p,
+		createdRound:  make(map[int]int, p.NumTasks()),
+		dispatchRound: make(map[int]int, p.NumTasks()),
+	}
+	for r := 0; r < p.Rounds(); r++ {
+		for _, task := range p.tasksByRound[r] {
+			t.createdRound[task.ID] = r
+			t.dispatchRound[task.ID] = -1
+		}
+	}
+	return t
+}
+
+// observeDispatch records that task id was dispatched at round r (first
+// dispatch wins; carry-over re-solves never re-dispatch a task).
+func (t *sloTracker) observeDispatch(taskID, round int) {
+	if cur, ok := t.dispatchRound[taskID]; ok && cur < 0 {
+		t.dispatchRound[taskID] = round
+	}
+}
+
+// report folds the observations into per-class summaries. endRound is the
+// first round index after the run (tasks still waiting whose deadline is
+// at or before that time count as violations).
+func (t *sloTracker) report(endRound int) *SLOReport {
+	classes := t.plan.Spec.SLOClasses
+	n := len(classes)
+	if n == 0 {
+		// No declared classes: everything aggregates under one row.
+		n = 1
+	}
+	rep := &SLOReport{Classes: make([]SLOClassReport, n)}
+	for i := range rep.Classes {
+		if len(classes) > 0 {
+			rep.Classes[i].Name = classes[i].Name
+		} else {
+			rep.Classes[i].Name = "all"
+		}
+	}
+	waitSum := make([]float64, n)
+	ids := make([]int, 0, len(t.createdRound))
+	for id := range t.createdRound {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		ci := t.plan.ClassOf(id)
+		if ci < 0 {
+			ci = 0
+		}
+		c := &rep.Classes[ci]
+		c.Tasks++
+		created := t.createdRound[id]
+		disp := t.dispatchRound[id]
+		if disp >= 0 {
+			wait := disp - created
+			c.Dispatched++
+			waitSum[ci] += float64(wait)
+			if wait > c.MaxWait {
+				c.MaxWait = wait
+			}
+			if len(classes) > 0 && float64(wait) > classes[ci].TargetWait {
+				c.Violations++
+			}
+		} else {
+			// Undispatched: a violation once its deadline has passed by run
+			// end (it can never be served within target).
+			deadline := float64(created)*Interval + t.deadlineOf(ci)
+			if deadline <= float64(endRound)*Interval {
+				c.Violations++
+			}
+		}
+	}
+	rates := make([]float64, 0, n)
+	for i := range rep.Classes {
+		if rep.Classes[i].Dispatched > 0 {
+			rep.Classes[i].MeanWait = waitSum[i] / float64(rep.Classes[i].Dispatched)
+		}
+		if rep.Classes[i].Tasks > 0 {
+			rates = append(rates, rep.Classes[i].DispatchRate())
+		}
+	}
+	rep.Fairness = jain(rates)
+	return rep
+}
+
+func (t *sloTracker) deadlineOf(class int) float64 {
+	classes := t.plan.Spec.SLOClasses
+	if class >= 0 && class < len(classes) {
+		return classes[class].Deadline
+	}
+	return t.plan.Spec.Deadline
+}
+
+// jain computes Jain's fairness index (Σx)² / (n·Σx²) over the rates.
+func jain(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	sum, sum2 := 0.0, 0.0
+	for _, x := range xs {
+		sum += x
+		sum2 += x * x
+	}
+	if sum2 == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sum2)
+}
